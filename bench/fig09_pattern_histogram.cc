@@ -1,0 +1,53 @@
+// Fig. 9 — frequency histogram of the permutation patterns of one channel
+// group across the VRAM space: all patterns are uniformly distributed.
+// Uses the silicon layout directly (the census input is just labels; the
+// probing path is exercised by fig08/sec53) over a large address span.
+#include <cstdio>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "gpusim/hash_mapping.h"
+#include "reveng/permutation.h"
+
+using namespace sgdrc;
+using namespace sgdrc::gpusim;
+
+namespace {
+
+void histogram(const GpuSpec& spec, uint64_t partitions) {
+  std::printf("---- %s (%llu MiB scanned) ----\n", spec.name.c_str(),
+              (unsigned long long)(partitions >> 10));
+  const AddressMapping m(spec);
+  std::vector<int> labels;
+  labels.reserve(partitions);
+  for (uint64_t p = 0; p < partitions; ++p) {
+    labels.push_back(static_cast<int>(m.channel_of(p * kPartitionBytes)));
+  }
+  const auto census = reveng::analyze_channel_labels(labels,
+                                                     spec.num_channels);
+  TextTable t({"pattern", "count", "frequency"});
+  uint64_t total = 0;
+  for (const auto& [k, v] : census.pattern_counts) total += v;
+  for (const auto& [k, v] : census.pattern_counts) {
+    t.add_row({k, std::to_string(v),
+               TextTable::pct(static_cast<double>(v) /
+                              static_cast<double>(total))});
+  }
+  t.print();
+  std::printf("patterns: %zu, max deviation from uniform: %.2f%%\n\n",
+              census.pattern_counts.size(),
+              100.0 * census.pattern_uniform_deviation);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Fig. 9 — permutation-pattern frequency histogram (group 0)\n\n");
+  histogram(tesla_p40(), 1ull << 20);   // 1 GiB worth of partitions
+  histogram(rtx_a2000(), 1ull << 20);
+  std::printf(
+      "Shape check: every pattern of the group occurs with (near-)equal\n"
+      "frequency — channels are evenly spread over the VRAM space.\n");
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Fig. 17 — end-to-end evaluation: 6 systems × 2 GPUs × 2 workloads.
+//  (a) per-LS-model p99 latency,
+//  (b) SLO attainment rate,
+//  (c) throughput (LS goodput + BE samples/s, normalized to SGDRC).
+//
+// All systems run the same trace on the same substrate; SGDRC variants
+// run SPT-transformed kernels (and pay the §9.1.2 overhead). MPS is
+// reported on both GPUs here even though the real P40 no longer supports
+// it (the paper omits it there).
+#include <cstdio>
+#include <memory>
+
+#include "baselines/baseline_policies.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "core/harness.h"
+#include "core/sgdrc_policy.h"
+
+using namespace sgdrc;
+using namespace sgdrc::core;
+
+namespace {
+
+struct SystemResult {
+  std::string name;
+  workload::ServingMetrics metrics;
+};
+
+std::vector<SystemResult> run_all(const ServingHarness& h,
+                                  const gpusim::GpuSpec& spec) {
+  std::vector<SystemResult> out(6);
+  ThreadPool pool(6);
+  pool.parallel_for(6, [&](size_t i) {
+    switch (i) {
+      case 0: {
+        baselines::MultiStreamPolicy p;
+        out[i] = {"Multi-streaming", h.run(p, false)};
+        break;
+      }
+      case 1: {
+        baselines::TgsPolicy p;
+        out[i] = {"TGS", h.run(p, false)};
+        break;
+      }
+      case 2: {
+        baselines::MpsPolicy p(spec);
+        out[i] = {"MPS", h.run(p, false)};
+        break;
+      }
+      case 3: {
+        baselines::OrionPolicy p;
+        out[i] = {"Orion", h.run(p, false)};
+        break;
+      }
+      case 4: {
+        SgdrcStaticPolicy p(spec);
+        out[i] = {"SGDRC (Static)", h.run(p, true)};
+        break;
+      }
+      case 5: {
+        SgdrcPolicy p(spec);
+        out[i] = {"SGDRC", h.run(p, true)};
+        break;
+      }
+    }
+  });
+  return out;
+}
+
+void run_scenario(const gpusim::GpuSpec& spec, bool heavy) {
+  std::printf("\n==== %s — %s workload ====\n", spec.name.c_str(),
+              heavy ? "heavy" : "light");
+  HarnessOptions o;
+  o.spec = spec;
+  o.utilization = 1.45;
+  o.load_scale = heavy ? 1.0 : 0.5;  // §9.2: light = half the rate
+  o.burstiness = 0.35;
+  o.duration = 2 * kNsPerSec;
+  o.seed = 0xf17;
+  const ServingHarness h(o);
+  const auto results = run_all(h, spec);
+
+  // (a) per-model p99 latency.
+  {
+    std::vector<std::string> header{"p99 (ms)"};
+    for (const auto& r : results) header.push_back(r.name);
+    TextTable t(header);
+    const size_t n_ls = results[0].metrics.ls.size();
+    for (size_t s = 0; s < n_ls; ++s) {
+      std::vector<std::string> row{
+          std::string(1, results[0].metrics.ls[s].letter)};
+      for (const auto& r : results) {
+        row.push_back(TextTable::num(r.metrics.ls[s].p99_ms(), 2));
+      }
+      t.add_row(row);
+    }
+    t.print();
+  }
+
+  // (b) SLO attainment + (c) throughput.
+  {
+    TextTable t({"system", "SLO att.", "LS goodput/s", "BE samples/s",
+                 "overall/s", "norm. overall", "norm. BE"});
+    const double sg_overall = results[5].metrics.overall_throughput();
+    const double sg_be = results[5].metrics.be_throughput();
+    for (const auto& r : results) {
+      const auto& m = r.metrics;
+      t.add_row({r.name, TextTable::pct(m.mean_attainment()),
+                 TextTable::num(m.ls_goodput(), 0),
+                 TextTable::num(m.be_throughput(), 1),
+                 TextTable::num(m.overall_throughput(), 0),
+                 TextTable::num(m.overall_throughput() / sg_overall, 2),
+                 TextTable::num(sg_be > 0
+                                    ? m.be_throughput() / sg_be
+                                    : 0.0, 2)});
+    }
+    t.print();
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 17 — end-to-end evaluation (6 systems, 2 GPUs, 2 loads)\n");
+  for (const auto& spec : {gpusim::tesla_p40(), gpusim::rtx_a2000()}) {
+    run_scenario(spec, /*heavy=*/true);
+    run_scenario(spec, /*heavy=*/false);
+  }
+  std::printf(
+      "\nShape check (paper): SGDRC attains the highest SLO rate; its p99\n"
+      "is comparable to or lower than Orion's; Multi-streaming buys\n"
+      "throughput with LS tail latency; TGS pays context switches; MPS\n"
+      "lacks intra-SM/channel isolation; SGDRC (Static) trails dynamic\n"
+      "SGDRC, most visibly on BE throughput at light load.\n");
+  return 0;
+}

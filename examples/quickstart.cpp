@@ -1,0 +1,51 @@
+// Quickstart: colocate one latency-sensitive model with one best-effort
+// model under SGDRC on a simulated RTX A2000, and print what the paper's
+// abstract promises — SLO attainment for the LS service AND best-effort
+// throughput at the same time.
+//
+//   ./quickstart
+#include <cstdio>
+
+#include "core/harness.h"
+#include "core/sgdrc_policy.h"
+
+using namespace sgdrc;
+using namespace sgdrc::core;
+
+int main() {
+  // 1. Pick a GPU and a workload: MobileNetV3 serving real-time requests,
+  //    DenseNet161 crunching batches in the background.
+  HarnessOptions options;
+  options.spec = gpusim::rtx_a2000();
+  options.ls_letters = "ABFG";  // Tab. 3: MobileNetV3/SqueezeNet/MobileBert/MobileViT
+  options.be_letters = "J";   // Tab. 3: DenseNet161
+  options.utilization = 0.8;
+  options.duration = 1 * kNsPerSec;
+
+  // 2. The harness runs the paper's offline phase: per-kernel profiling
+  //    (min TPCs, memory-boundedness), SPT kernel transformation, SLO
+  //    derivation and trace generation.
+  ServingHarness harness(options);
+  std::printf("offline profiling done: MobileNetV3 isolated latency %s\n",
+              format_time(harness.isolated_latency(0)).c_str());
+
+  // 3. The online phase: SGDRC's tidal SM masking + bimodal tensors.
+  SgdrcPolicy sgdrc(options.spec);
+  const auto metrics = harness.run(sgdrc, /*spt=*/true);
+
+  std::printf("\n=== SGDRC on %s ===\n", options.spec.name.c_str());
+  for (const auto& ls : metrics.ls) {
+    std::printf("LS %-14s p99 %.3f ms (SLO %.3f ms) attainment %.1f%%\n",
+                ls.name.c_str(), ls.p99_ms(), to_ms(ls.slo),
+                100.0 * ls.attainment());
+  }
+  for (const auto& be : metrics.be) {
+    std::printf("BE %-14s %.1f samples/s (%llu evictions)\n",
+                be.name.c_str(),
+                be.samples() / to_sec(metrics.duration),
+                static_cast<unsigned long long>(be.evictions));
+  }
+  std::printf("overall throughput: %.1f samples/s\n",
+              metrics.overall_throughput());
+  return 0;
+}

@@ -1,0 +1,167 @@
+#include "baselines/baseline_policies.h"
+
+#include <algorithm>
+
+namespace sgdrc::baselines {
+
+using core::ServingSim;
+using gpusim::TpcMask;
+
+// ----------------------------------------------------------- Temporal ----
+
+void TemporalPolicy::schedule(ServingSim& sim) {
+  const auto waiting = sim.waiting_ls_jobs();
+  const bool be_present = sim.has_be();
+  const auto be = be_present ? sim.be_state()
+                             : ServingSim::BeView{0, nullptr, false, false};
+
+  if (!waiting.empty()) {
+    // LS work exists: claim the GPU. Preempt a running BE kernel first.
+    if (be.in_flight) {
+      if (!be.evicting) sim.evict_be();
+      return;  // wait for the eviction to land
+    }
+    if (sim.ls_inflight() == 0) {
+      sim.launch_ls(waiting.front().id, 0, 0);  // whole GPU
+    }
+    return;
+  }
+  // No LS waiting: BE may use the GPU exclusively.
+  if (be_present && !be.in_flight && sim.ls_inflight() == 0) {
+    sim.launch_be(0, 0);
+  }
+}
+
+// -------------------------------------------------------- MultiStream ----
+
+void MultiStreamPolicy::schedule(ServingSim& sim) {
+  // Everything launches immediately; the hardware scheduler (our
+  // processor-sharing executor) arbitrates. LS "priority" only orders the
+  // launch queue — it cannot prevent intra-SM or channel contention.
+  for (const auto& job : sim.waiting_ls_jobs()) {
+    sim.launch_ls(job.id, 0, 0);
+  }
+  if (sim.has_be() && !sim.be_state().in_flight) {
+    sim.launch_be(0, 0);
+  }
+}
+
+// ---------------------------------------------------------------- MPS ----
+
+MpsPolicy::MpsPolicy(const gpusim::GpuSpec& spec) {
+  // CUDA_MPS_ACTIVE_THREAD_PERCENTAGE = 50 on two instances: an even,
+  // static thread-level split. No channel isolation whatsoever.
+  const unsigned half = std::max(1u, spec.num_tpcs / 2);
+  ls_mask_ = gpusim::tpc_range(spec.num_tpcs - half, half);
+  be_mask_ = gpusim::tpc_range(0, spec.num_tpcs - half);
+}
+
+void MpsPolicy::schedule(ServingSim& sim) {
+  // All LS jobs share the LS instance's thread slice concurrently
+  // (intra-SM conflicts among LS kernels, §9.3's MPS analysis).
+  for (const auto& job : sim.waiting_ls_jobs()) {
+    sim.launch_ls(job.id, ls_mask_, 0);
+  }
+  if (sim.has_be() && !sim.be_state().in_flight) {
+    sim.launch_be(be_mask_, 0);
+  }
+}
+
+// ---------------------------------------------------------------- TGS ----
+
+void TgsPolicy::schedule(ServingSim& sim) {
+  const TimeNs now = sim.now();
+  if (now < frozen_until_) {
+    sim.poke_at(frozen_until_);
+    return;  // paying the container context switch
+  }
+  const auto waiting = sim.waiting_ls_jobs();
+  const bool ls_wants = !waiting.empty() || sim.ls_inflight() > 0;
+  const bool be_present = sim.has_be();
+
+  // Feedback-style switching: only reconsider the active container after
+  // `dwell`, then pay the switch cost.
+  const bool may_switch = now - last_switch_ >= opt_.dwell;
+  if (active_ == Container::kBe && ls_wants && may_switch) {
+    active_ = Container::kLs;
+    last_switch_ = now;
+    frozen_until_ = now + opt_.switch_cost;
+    sim.poke_at(frozen_until_);
+    return;
+  }
+  if (active_ == Container::kLs && !ls_wants && be_present && may_switch) {
+    active_ = Container::kBe;
+    last_switch_ = now;
+    frozen_until_ = now + opt_.switch_cost;
+    sim.poke_at(frozen_until_);
+    return;
+  }
+  if (!may_switch) {
+    sim.poke_at(last_switch_ + opt_.dwell);
+  }
+
+  if (active_ == Container::kLs) {
+    if (sim.ls_inflight() == 0 && !waiting.empty()) {
+      sim.launch_ls(waiting.front().id, 0, 0);
+    }
+  } else if (be_present && !sim.be_state().in_flight) {
+    sim.launch_be(0, 0);
+  }
+}
+
+// -------------------------------------------------------------- Orion ----
+
+void OrionPolicy::schedule(ServingSim& sim) {
+  // LS stream: unrestricted, launch everything immediately.
+  for (const auto& job : sim.waiting_ls_jobs()) {
+    sim.launch_ls(job.id, 0, 0);
+  }
+  if (!sim.has_be() || sim.be_state().in_flight) return;
+
+  const gpusim::KernelDesc* be_kernel = sim.be_state().next_kernel;
+  SGDRC_CHECK(be_kernel != nullptr, "BE idle but no next kernel");
+
+  // Interference-aware admission (§3.1's constraint classes):
+  const auto running = sim.exec().running_infos();
+
+  // 1) LS pressure: too many LS kernels executing or queued ⇒ the
+  //    scheduler cannot find a safe co-execution slot.
+  const size_t ls_pressure = sim.ls_inflight() + sim.waiting_ls_jobs().size();
+  if (ls_pressure > opt_.ls_pressure_limit) {
+    ++rej_sm_;
+    return;
+  }
+
+  // 2) Runtime constraint: the BE kernel must not outlive the running LS
+  //    kernels (it would block the next LS kernel's resources).
+  const unsigned tpcs = sim.spec().num_tpcs;
+  const unsigned chans = sim.spec().num_channels;
+  const TimeNs be_rt = sim.exec().solo_runtime(*be_kernel, tpcs, chans,
+                                               be_kernel->spt_transformed);
+  for (const auto& info : running) {
+    if (info.tag == ~uint64_t{0}) continue;  // ignore other BE kernels
+    const TimeNs ls_rt = sim.exec().solo_runtime(
+        *info.kernel, tpcs, chans, info.kernel->spt_transformed);
+    if (static_cast<double>(be_rt) >
+        opt_.runtime_ratio * static_cast<double>(ls_rt)) {
+      ++rej_runtime_;
+      return;
+    }
+  }
+
+  // 3) Resource (memory) constraint: never co-run a memory-bound BE
+  //    kernel while a memory-bound LS kernel executes.
+  if (be_kernel->memory_bound) {
+    for (const auto& info : running) {
+      if (info.tag != ~uint64_t{0} && info.kernel->memory_bound) {
+        ++rej_resource_;
+        return;
+      }
+    }
+  }
+
+  ++admitted_;
+  sim.launch_be(0, 0);
+}
+
+}  // namespace sgdrc::baselines

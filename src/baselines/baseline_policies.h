@@ -1,0 +1,94 @@
+// The Fig. 17 baselines, each as a Policy over the same serving engine:
+//
+//  * Temporal   — one kernel owns the GPU at a time; LS preempts BE
+//                 (TGS/Clockwork-style exclusivity, Fig. 1a / Fig. 4a).
+//  * MultiStream— two priority streams, everything launches immediately
+//                 and shares the whole GPU (§9.2 baseline 1, Fig. 4b).
+//  * MPS        — static 50/50 active-thread split between an LS and a BE
+//                 instance; no VRAM isolation (§9.2 baseline 3).
+//  * TGS        — container-level time sharing with switch overhead and
+//                 feedback-style dwell (§9.2 baseline 2).
+//  * Orion      — interference-aware admission of BE kernels next to an
+//                 unrestricted LS stream (§9.2 baseline 4; the paper, like
+//                 us, reimplements Orion's policy on its own substrate).
+#pragma once
+
+#include <cstdint>
+
+#include "core/serving.h"
+#include "gpusim/resources.h"
+
+namespace sgdrc::baselines {
+
+class TemporalPolicy : public core::Policy {
+ public:
+  std::string name() const override { return "Temporal (TGS-like)"; }
+  void schedule(core::ServingSim& sim) override;
+};
+
+class MultiStreamPolicy : public core::Policy {
+ public:
+  std::string name() const override { return "Multi-streaming"; }
+  void schedule(core::ServingSim& sim) override;
+};
+
+class MpsPolicy : public core::Policy {
+ public:
+  explicit MpsPolicy(const gpusim::GpuSpec& spec);
+  std::string name() const override { return "MPS"; }
+  void schedule(core::ServingSim& sim) override;
+
+ private:
+  gpusim::TpcMask ls_mask_, be_mask_;
+};
+
+class TgsPolicy : public core::Policy {
+ public:
+  struct Options {
+    TimeNs dwell = 2 * kNsPerMs;          // feedback-control reaction time
+    TimeNs switch_cost = 300 * kNsPerUs;  // CUDA context switch (§9.3)
+  };
+  TgsPolicy() = default;
+  explicit TgsPolicy(Options opt) : opt_(opt) {}
+  std::string name() const override { return "TGS"; }
+  void schedule(core::ServingSim& sim) override;
+
+ private:
+  enum class Container { kLs, kBe };
+  Options opt_;
+  Container active_ = Container::kLs;
+  TimeNs last_switch_ = 0;
+  TimeNs frozen_until_ = 0;
+};
+
+class OrionPolicy : public core::Policy {
+ public:
+  struct Options {
+    /// Max queued+running LS kernels for BE co-execution to be allowed.
+    size_t ls_pressure_limit = 1;
+    /// BE kernel runtime must not exceed this multiple of the shortest
+    /// running LS kernel's runtime. Orion's duration-based co-execution
+    /// vetting admits kernels a few times longer than the LS kernel —
+    /// throughput-oriented, at some cost to the LS tail under load.
+    double runtime_ratio = 3.0;
+  };
+  OrionPolicy() = default;
+  explicit OrionPolicy(Options opt) : opt_(opt) {}
+  std::string name() const override { return "Orion"; }
+  void schedule(core::ServingSim& sim) override;
+
+  /// Constraint rejection counters (Fig. 5b's Res / SM / Runtime bars).
+  uint64_t rejected_resource() const { return rej_resource_; }
+  uint64_t rejected_sm() const { return rej_sm_; }
+  uint64_t rejected_runtime() const { return rej_runtime_; }
+  uint64_t admitted() const { return admitted_; }
+
+ private:
+  Options opt_;
+  uint64_t rej_resource_ = 0;
+  uint64_t rej_sm_ = 0;
+  uint64_t rej_runtime_ = 0;
+  uint64_t admitted_ = 0;
+};
+
+}  // namespace sgdrc::baselines

@@ -1,0 +1,33 @@
+// The kernel transformer (§6 / §9.1.2): rewrites a kernel's array-access
+// expressions through translate() so colored tensors stay inside their
+// sectors, and accounts for the register cost of the rewrite.
+//
+// Register model (validated against Fig. 15b's shape):
+//  * an index expression used by exactly ONE access folds into that
+//    access's address computation — nvcc needs no extra live value;
+//  * an index expression SHARED by several accesses materialises one
+//    temporary → +1 register;
+//  * tiny kernels (isolated runtime < 0.01 ms) are dominated by compiler
+//    heuristics; the paper observed >10-register outliers on exactly this
+//    class. Modelled as a deterministic, name-keyed perturbation.
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_time.h"
+#include "gpusim/kernel.h"
+
+namespace sgdrc::coloring {
+
+struct TransformResult {
+  gpusim::KernelDesc kernel;    // transformed copy (spt_transformed set)
+  unsigned extra_registers = 0;
+  unsigned rewritten_accesses = 0;
+};
+
+/// Transform `k` for SPT execution. `t_iso_ns` is the kernel's isolated
+/// full-GPU runtime (profiler output), used for the tiny-kernel rule.
+TransformResult transform_kernel(const gpusim::KernelDesc& k,
+                                 TimeNs t_iso_ns);
+
+}  // namespace sgdrc::coloring

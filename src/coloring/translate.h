@@ -1,0 +1,37 @@
+// The transformed-kernel index arithmetic (§6, Fig. 12b/c).
+//
+// A colored buffer owns one n-KiB sector of every 4 KiB page it spans, so
+// logical offsets must be stride-expanded to skip the other sectors:
+//
+//   #define translate(offset) ((offset) + ((offset) & 0xFFFFF800))   // 2KiB
+//
+// generalised here for any power-of-two granularity, plus the base shift
+// by sector-index × sector-size the paper applies to kernel arguments.
+// Each re-indexing costs 2 integer ops (~8 GPU cycles) and at most one
+// extra register — the overhead quantified in §9.1.2 / Fig. 15b.
+#pragma once
+
+#include <cstdint>
+
+#include "driver/uvm_pool.h"
+#include "gpusim/address.h"
+
+namespace sgdrc::coloring {
+
+/// Stride-expand a logical byte offset for a coloring granularity of
+/// `sector_bytes` within 4 KiB pages (Fig. 12c's translate()).
+constexpr uint64_t translate_offset(uint64_t offset, uint64_t sector_bytes) {
+  const uint64_t expansion = gpusim::kPageBytes / sector_bytes;  // 2 or 4
+  const uint64_t block = offset & ~(sector_bytes - 1);
+  return offset + block * (expansion - 1);
+}
+
+/// Virtual address of logical byte `offset` inside a colored buffer:
+/// base + sector shift + stride expansion.
+inline gpusim::VirtAddr colored_va(const driver::ColoredBuffer& buf,
+                                   uint64_t offset) {
+  const uint64_t sector = buf.granularity_kib * 1024ull;
+  return buf.va + buf.sector * sector + translate_offset(offset, sector);
+}
+
+}  // namespace sgdrc::coloring

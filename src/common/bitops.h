@@ -1,0 +1,36 @@
+// Bit-manipulation helpers shared by the address-mapping machinery and the
+// reverse-engineering code.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace sgdrc {
+
+/// Parity (XOR-fold) of the bits selected by `mask` within `x`.
+/// This is the primitive both real GPU hash circuits and FGPU's model use.
+constexpr uint32_t masked_parity(uint64_t x, uint64_t mask) {
+  return static_cast<uint32_t>(std::popcount(x & mask) & 1);
+}
+
+/// Extract bits [lo, hi] inclusive from x, right-aligned.
+constexpr uint64_t extract_bits(uint64_t x, unsigned lo, unsigned hi) {
+  const unsigned width = hi - lo + 1;
+  if (width >= 64) return x >> lo;
+  return (x >> lo) & ((uint64_t{1} << width) - 1);
+}
+
+/// True when x is a power of two (and non-zero).
+constexpr bool is_pow2(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Ceil(log2(x)) for x >= 1.
+constexpr unsigned ceil_log2(uint64_t x) {
+  return x <= 1 ? 0u : 64u - static_cast<unsigned>(std::countl_zero(x - 1));
+}
+
+/// Integer ceiling division.
+constexpr uint64_t ceil_div(uint64_t a, uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace sgdrc

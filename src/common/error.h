@@ -1,0 +1,56 @@
+// Error handling primitives shared across all SGDRC libraries.
+//
+// Precondition violations and invariant breaks throw; recoverable
+// configuration problems surface as sgdrc::ConfigError so callers
+// (benches, server) can report them without aborting a whole sweep.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sgdrc {
+
+/// Thrown when a user-supplied configuration is inconsistent
+/// (e.g. a channel mask wider than the GPU's channel count).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an internal invariant is violated. Seeing one of these
+/// means an SGDRC bug, not a user error.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_config(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw ConfigError(std::string(file) + ":" + std::to_string(line) +
+                    ": requirement failed: " + expr +
+                    (msg.empty() ? "" : " — " + msg));
+}
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  throw InvariantError(std::string(file) + ":" + std::to_string(line) +
+                       ": invariant failed: " + expr +
+                       (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace sgdrc
+
+/// Validate a user-facing precondition; throws sgdrc::ConfigError.
+#define SGDRC_REQUIRE(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::sgdrc::detail::throw_config(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+/// Validate an internal invariant; throws sgdrc::InvariantError.
+#define SGDRC_CHECK(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr))                                                        \
+      ::sgdrc::detail::throw_invariant(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

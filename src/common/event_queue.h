@@ -1,0 +1,133 @@
+// Discrete-event scheduling primitives for the kernel-level executor and
+// the serving simulations.
+//
+// Events at the same timestamp fire in insertion order (a stable tiebreak
+// keeps simulations deterministic across library/compiler versions).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.h"
+#include "common/sim_time.h"
+
+namespace sgdrc {
+
+/// Handle that identifies a scheduled event so it can be cancelled.
+using EventId = uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` to fire at absolute simulated time `when`.
+  /// `when` must not be in the past relative to now().
+  EventId schedule_at(TimeNs when, std::function<void()> fn) {
+    SGDRC_CHECK(when >= now_, "scheduling an event in the past");
+    const EventId id = next_id_++;
+    state_.push_back(State::kPending);
+    heap_.push(Entry{when, id, std::move(fn)});
+    ++live_;
+    return id;
+  }
+
+  /// Schedule `fn` to fire `delay` after the current time.
+  EventId schedule_after(TimeNs delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired, already-cancelled
+  /// or unknown id is a no-op (returns false). O(1) via tombstones.
+  bool cancel(EventId id) {
+    if (id >= state_.size() || state_[id] != State::kPending) return false;
+    state_[id] = State::kCancelled;
+    --live_;
+    return true;
+  }
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const { return live_ == 0; }
+
+  /// Number of live pending events.
+  size_t pending() const { return live_; }
+
+  TimeNs now() const { return now_; }
+
+  /// Manually advance the clock with no events (e.g. idle gaps driven by an
+  /// outer simulation). Must not go backwards.
+  void advance_to(TimeNs t) {
+    SGDRC_CHECK(t >= now_, "clock cannot go backwards");
+    now_ = t;
+  }
+
+  /// Pop and run the earliest live event; advances now(). Returns false
+  /// when the queue is empty.
+  bool run_next() {
+    while (!heap_.empty()) {
+      if (state_[heap_.top().id] == State::kCancelled) {
+        heap_.pop();
+        continue;
+      }
+      Entry e = std::move(const_cast<Entry&>(heap_.top()));
+      heap_.pop();
+      now_ = e.when;
+      state_[e.id] = State::kFired;
+      --live_;
+      e.fn();
+      return true;
+    }
+    return false;
+  }
+
+  /// Run events until the queue drains or `until` is reached (events at
+  /// exactly `until` still fire). Returns the number of events fired.
+  size_t run_until(TimeNs until) {
+    size_t fired = 0;
+    while (!heap_.empty()) {
+      if (state_[heap_.top().id] == State::kCancelled) {
+        heap_.pop();
+        continue;
+      }
+      if (heap_.top().when > until) break;
+      Entry e = std::move(const_cast<Entry&>(heap_.top()));
+      heap_.pop();
+      now_ = e.when;
+      state_[e.id] = State::kFired;
+      --live_;
+      e.fn();
+      ++fired;
+    }
+    now_ = std::max(now_, until);
+    return fired;
+  }
+
+  /// Drain the whole queue.
+  size_t run_all() {
+    size_t fired = 0;
+    while (run_next()) ++fired;
+    return fired;
+  }
+
+ private:
+  enum class State : uint8_t { kPending, kFired, kCancelled };
+
+  struct Entry {
+    TimeNs when;
+    EventId id;
+    std::function<void()> fn;
+    bool operator>(const Entry& o) const {
+      if (when != o.when) return when > o.when;
+      return id > o.id;  // stable FIFO within a timestamp
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<State> state_;
+  TimeNs now_ = 0;
+  EventId next_id_ = 0;
+  size_t live_ = 0;
+};
+
+}  // namespace sgdrc

@@ -1,0 +1,124 @@
+// Deterministic pseudo-random number generation for simulation.
+//
+// Everything in SGDRC that involves randomness (hidden hash keys, cache
+// noise, workload arrivals, MLP init) derives from explicit seeds so that
+// every experiment is reproducible bit-for-bit.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "common/error.h"
+
+namespace sgdrc {
+
+/// SplitMix64: tiny, high-quality 64-bit mixer. Used both as a stream
+/// seeder and as the keyed integer hash inside the simulated GPU's
+/// address-mapping "gate circuits".
+constexpr uint64_t splitmix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** — fast general-purpose generator for simulation streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed) {
+    uint64_t x = seed;
+    for (auto& si : s_) {
+      x = splitmix64(x);
+      si = x;
+    }
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t uniform_u64(uint64_t n) {
+    SGDRC_CHECK(n > 0, "uniform_u64 with empty range");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = std::numeric_limits<uint64_t>::max() -
+                           std::numeric_limits<uint64_t>::max() % n;
+    uint64_t v;
+    do {
+      v = next_u64();
+    } while (v >= limit);
+    return v % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t uniform_int(int64_t lo, int64_t hi) {
+    SGDRC_CHECK(lo <= hi, "uniform_int with inverted range");
+    return lo + static_cast<int64_t>(
+                    uniform_u64(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Exponential with the given rate (events per unit time).
+  double exponential(double rate) {
+    SGDRC_CHECK(rate > 0, "exponential rate must be positive");
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+  }
+
+  /// Standard normal via Box–Muller (one value per call; simple > fast here).
+  double normal(double mean = 0.0, double stddev = 1.0) {
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * kPi * u2);
+    return mean + stddev * z;
+  }
+
+  /// Fisher–Yates shuffle of a random-access container.
+  template <typename Container>
+  void shuffle(Container& c) {
+    for (size_t i = c.size(); i > 1; --i) {
+      const size_t j = uniform_u64(i);
+      std::swap(c[i - 1], c[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-task / per-worker RNGs).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static constexpr double kPi = 3.14159265358979323846;
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace sgdrc

@@ -1,0 +1,110 @@
+// A small work-stealing-free thread pool used to parallelise *independent*
+// experiment runs (e.g. the 6-system × 2-GPU × 2-load sweep of Fig. 17).
+//
+// Simulations themselves stay single-threaded and deterministic; only the
+// outer sweep fans out. parallel_for preserves result ordering by index.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+
+namespace sgdrc {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t threads = std::thread::hardware_concurrency()) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task. Tasks must not throw; wrap anything that can.
+  void submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      SGDRC_CHECK(!stopping_, "submit after shutdown");
+      tasks_.push(std::move(task));
+      ++outstanding_;
+    }
+    cv_.notify_one();
+  }
+
+  /// Block until every submitted task has completed.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lk(mu_);
+    idle_cv_.wait(lk, [this] { return outstanding_ == 0; });
+  }
+
+  /// Run body(i) for i in [0, n) across the pool and wait for completion.
+  /// Exceptions from body are captured and the first one is rethrown.
+  void parallel_for(size_t n, const std::function<void(size_t)>& body) {
+    if (n == 0) return;
+    std::mutex err_mu;
+    std::exception_ptr first_error;
+    for (size_t i = 0; i < n; ++i) {
+      submit([&, i] {
+        try {
+          body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    wait_idle();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [this] { return stopping_ || !tasks_.empty(); });
+        if (stopping_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        --outstanding_;
+        if (outstanding_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  size_t outstanding_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace sgdrc

@@ -1,0 +1,220 @@
+#include "core/serving.h"
+
+#include <algorithm>
+
+namespace sgdrc::core {
+
+using gpusim::ChannelSet;
+using gpusim::GpuExecutor;
+using gpusim::TpcMask;
+using workload::Request;
+
+ServingSim::ServingSim(ServingConfig cfg, std::vector<LsServiceSpec> ls,
+                       std::vector<BeTaskSpec> be, Policy& policy)
+    : cfg_(std::move(cfg)), ls_(std::move(ls)), be_(std::move(be)),
+      policy_(policy) {
+  SGDRC_REQUIRE(!ls_.empty(), "serving needs at least one LS service");
+  SGDRC_REQUIRE(cfg_.ls_instances >= 1, "need at least one instance");
+  exec_ = std::make_unique<GpuExecutor>(cfg_.spec, queue_, cfg_.exec_params);
+
+  const double n = cfg_.slo_multiplier > 0.0
+                       ? cfg_.slo_multiplier
+                       : static_cast<double>(ls_.size() + be_.size());
+  for (const auto& s : ls_) {
+    workload::LsServiceMetrics m;
+    m.name = s.model.name;
+    m.letter = s.model.letter;
+    m.isolated_p99 = s.isolated_latency;
+    m.slo = static_cast<TimeNs>(n * static_cast<double>(s.isolated_latency));
+    metrics_.ls.push_back(std::move(m));
+  }
+  for (const auto& b : be_) {
+    workload::BeTaskMetrics m;
+    m.name = b.model.name;
+    m.letter = b.model.letter;
+    m.batch = b.model.batch;
+    m.kernels_per_batch = b.model.kernels.size();
+    metrics_.be.push_back(std::move(m));
+  }
+  free_instances_.assign(ls_.size(), cfg_.ls_instances);
+  backlog_.resize(ls_.size());
+}
+
+workload::ServingMetrics ServingSim::run(
+    const std::vector<Request>& trace) {
+  metrics_.duration = cfg_.duration;
+  for (const Request& r : trace) {
+    if (r.arrival >= cfg_.duration) break;
+    queue_.schedule_at(r.arrival, [this, r] { arrive(r); });
+  }
+  poke();  // let the policy start the BE closed loop immediately
+  queue_.run_until(cfg_.duration);
+  stopped_ = true;
+  return metrics_;
+}
+
+void ServingSim::arrive(const Request& r) {
+  SGDRC_REQUIRE(r.service < ls_.size(), "request for unknown service");
+  ++metrics_.ls[r.service].arrived;
+  if (free_instances_[r.service] > 0) {
+    --free_instances_[r.service];
+    admit(r.service, r.arrival);
+  } else {
+    backlog_[r.service].push_back(r.arrival);
+  }
+  poke();
+}
+
+void ServingSim::admit(unsigned service, TimeNs arrival) {
+  LsJob job;
+  job.id = next_job_++;
+  job.service = service;
+  job.arrival = arrival;
+  jobs_.push_back(job);
+}
+
+std::vector<ServingSim::LsJobView> ServingSim::ls_jobs() const {
+  std::vector<LsJobView> out;
+  out.reserve(jobs_.size());
+  for (const auto& j : jobs_) {
+    const auto& kernels = ls_[j.service].model.kernels;
+    out.push_back({j.id, j.service, j.arrival,
+                   j.in_flight ? nullptr : &kernels[j.cursor],
+                   j.in_flight});
+  }
+  return out;
+}
+
+std::vector<ServingSim::LsJobView> ServingSim::waiting_ls_jobs() const {
+  auto all = ls_jobs();
+  std::vector<LsJobView> out;
+  for (const auto& v : all) {
+    if (!v.in_flight) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<const gpusim::KernelDesc*> ServingSim::upcoming_ls_kernels(
+    size_t window) const {
+  std::vector<const gpusim::KernelDesc*> out;
+  for (const auto& j : jobs_) {
+    if (out.size() >= window) break;
+    if (!j.in_flight) {
+      out.push_back(&ls_[j.service].model.kernels[j.cursor]);
+    }
+  }
+  return out;
+}
+
+ServingSim::BeView ServingSim::be_state() const {
+  SGDRC_REQUIRE(!be_.empty(), "no BE task configured");
+  const auto& model = be_[be_current_].model;
+  const gpusim::KernelDesc* next =
+      be_in_flight_ ? nullptr : &model.kernels[be_cursor_];
+  return {be_current_, next, be_in_flight_, be_evicting_};
+}
+
+void ServingSim::launch_ls(JobId id, TpcMask mask, ChannelSet channels) {
+  auto it = std::find_if(jobs_.begin(), jobs_.end(),
+                         [&](const LsJob& j) { return j.id == id; });
+  SGDRC_REQUIRE(it != jobs_.end(), "unknown LS job");
+  SGDRC_REQUIRE(!it->in_flight, "LS job already has a kernel in flight");
+  const auto& model = ls_[it->service].model;
+  const gpusim::KernelDesc& k = model.kernels[it->cursor];
+  // Only memory-bound kernels are channel-colored (§7.2); others keep the
+  // default all-channel mapping.
+  const ChannelSet ch = k.memory_bound ? channels : 0;
+  it->in_flight = true;
+  if (ls_inflight_ == 0) ls_busy_since_ = now();
+  ++ls_inflight_;
+  exec_->launch({&k, mask, ch, id},
+                [this, id](GpuExecutor::LaunchId, TimeNs) {
+                  finish_ls_kernel(id);
+                });
+}
+
+void ServingSim::finish_ls_kernel(JobId id) {
+  auto it = std::find_if(jobs_.begin(), jobs_.end(),
+                         [&](const LsJob& j) { return j.id == id; });
+  SGDRC_CHECK(it != jobs_.end(), "completion for unknown LS job");
+  it->in_flight = false;
+  --ls_inflight_;
+  if (ls_inflight_ == 0) metrics_.ls_busy_ns += now() - ls_busy_since_;
+  ++it->cursor;
+  const unsigned service = it->service;
+  if (it->cursor >= ls_[service].model.kernels.size()) {
+    if (!stopped_) metrics_.record_ls(service, it->arrival, now());
+    jobs_.erase(it);
+    // Hand the instance to the next queued request.
+    if (!backlog_[service].empty()) {
+      const TimeNs arrival = backlog_[service].front();
+      backlog_[service].pop_front();
+      admit(service, arrival);
+    } else {
+      ++free_instances_[service];
+    }
+  }
+  poke();
+}
+
+void ServingSim::launch_be(TpcMask mask, ChannelSet channels) {
+  SGDRC_REQUIRE(!be_.empty(), "no BE task configured");
+  SGDRC_REQUIRE(!be_in_flight_, "BE kernel already in flight");
+  const auto& model = be_[be_current_].model;
+  const gpusim::KernelDesc& k = model.kernels[be_cursor_];
+  const ChannelSet ch = k.memory_bound ? channels : 0;
+  be_in_flight_ = true;
+  be_evicting_ = false;
+  be_started_ = now();
+  be_launch_ = exec_->launch(
+      {&k, mask, ch, ~uint64_t{0}},
+      [this](GpuExecutor::LaunchId, TimeNs) { finish_be_kernel(); });
+}
+
+void ServingSim::finish_be_kernel() {
+  be_in_flight_ = false;
+  be_evicting_ = false;
+  ++be_cursor_;
+  metrics_.be_busy_ns += now() - be_started_;
+  if (!stopped_) ++metrics_.be[be_current_].kernels_done;
+  if (be_cursor_ >= be_[be_current_].model.kernels.size()) {
+    if (!stopped_) ++metrics_.be[be_current_].batches_completed;
+    be_cursor_ = 0;
+    be_current_ = (be_current_ + 1) % be_.size();  // round-robin rotation
+  }
+  poke();
+}
+
+void ServingSim::evict_be() {
+  SGDRC_REQUIRE(be_in_flight_, "no BE kernel to evict");
+  if (be_evicting_) return;
+  be_evicting_ = true;
+  ++metrics_.be[be_current_].evictions;
+  exec_->evict(be_launch_, [this](GpuExecutor::LaunchId, TimeNs) {
+    // Progress lost; the cursor stays on the same kernel (§7.1 restart).
+    be_in_flight_ = false;
+    be_evicting_ = false;
+    metrics_.be_busy_ns += now() - be_started_;
+    poke();
+  });
+}
+
+void ServingSim::poke_at(TimeNs t) {
+  queue_.schedule_at(std::max(t, now()), [this] { poke(); });
+}
+
+void ServingSim::poke() {
+  if (stopped_) return;
+  if (in_schedule_) {
+    repoke_ = true;
+    return;
+  }
+  in_schedule_ = true;
+  do {
+    repoke_ = false;
+    policy_.schedule(*this);
+  } while (repoke_);
+  in_schedule_ = false;
+}
+
+}  // namespace sgdrc::core

@@ -1,0 +1,166 @@
+// The serving simulation: LS clients replaying a trace against per-model
+// instance pools, one closed-loop BE task rotating round-robin over the
+// BE models (§9.2's testing scenario), all over the kernel-level executor.
+//
+// Scheduling decisions are delegated to a Policy — SGDRC and every
+// baseline of Fig. 17 implement this interface, so all systems run on
+// exactly the same substrate and workload.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "gpusim/executor.h"
+#include "gpusim/gpu_spec.h"
+#include "models/model.h"
+#include "workload/metrics.h"
+#include "workload/trace.h"
+
+namespace sgdrc::core {
+
+class ServingSim;
+
+/// Scheduler strategy. schedule() is invoked after every state change
+/// (request arrival, kernel completion, eviction, BE batch switch); it
+/// must be idempotent — inspect the sim, launch what should run now.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual std::string name() const = 0;
+  virtual void schedule(ServingSim& sim) = 0;
+};
+
+struct LsServiceSpec {
+  models::ModelDesc model;     // possibly SPT-transformed
+  TimeNs isolated_latency = 0; // untransformed isolated p99 (SLO base)
+};
+
+struct BeTaskSpec {
+  models::ModelDesc model;
+};
+
+struct ServingConfig {
+  gpusim::GpuSpec spec;
+  gpusim::ExecutorParams exec_params;
+  unsigned ls_instances = 4;   // §9.2: 4 instances per LS model
+  TimeNs duration = 2 * kNsPerSec;
+  /// SLO = slo_multiplier × isolated p99; 0 ⇒ #LS + #BE services (§9.2).
+  double slo_multiplier = 0.0;
+};
+
+class ServingSim {
+ public:
+  using JobId = uint64_t;
+
+  ServingSim(ServingConfig cfg, std::vector<LsServiceSpec> ls,
+             std::vector<BeTaskSpec> be, Policy& policy);
+
+  /// Replay the trace; returns the metrics after `duration`.
+  workload::ServingMetrics run(const std::vector<workload::Request>& trace);
+
+  // ------------------------------------------------- policy read API ----
+  const gpusim::GpuSpec& spec() const { return cfg_.spec; }
+  gpusim::GpuExecutor& exec() { return *exec_; }
+  TimeNs now() const { return queue_.now(); }
+
+  struct LsJobView {
+    JobId id;
+    unsigned service;
+    TimeNs arrival;
+    const gpusim::KernelDesc* next_kernel;  // null when in flight
+    bool in_flight;
+  };
+  /// Admitted LS jobs in arrival order (both waiting and in-flight).
+  std::vector<LsJobView> ls_jobs() const;
+  /// Waiting LS jobs only (next kernel launchable now), arrival order.
+  std::vector<LsJobView> waiting_ls_jobs() const;
+  size_t ls_inflight() const { return ls_inflight_; }
+  /// The next `window` kernels of waiting LS jobs — the tidal scheduler's
+  /// sliding window (§7.1).
+  std::vector<const gpusim::KernelDesc*> upcoming_ls_kernels(
+      size_t window) const;
+
+  struct BeView {
+    unsigned task;          // index into the BE rotation
+    const gpusim::KernelDesc* next_kernel;  // null when in flight
+    bool in_flight;
+    bool evicting;
+  };
+  BeView be_state() const;
+  bool has_be() const { return !be_.empty(); }
+
+  size_t ls_services() const { return ls_.size(); }
+  const models::ModelDesc& ls_model(unsigned service) const {
+    return ls_[service].model;
+  }
+  const models::ModelDesc& be_model(unsigned task) const {
+    return be_[task].model;
+  }
+
+  // ------------------------------------------------ policy write API ----
+  /// Launch the next kernel of a waiting LS job. channels==0 ⇒ all.
+  /// For non-memory-bound kernels the channel restriction is ignored
+  /// (only memory-bound tensors are colored, §7.2).
+  void launch_ls(JobId id, gpusim::TpcMask mask, gpusim::ChannelSet channels);
+
+  /// Launch the BE task's next kernel.
+  void launch_be(gpusim::TpcMask mask, gpusim::ChannelSet channels);
+
+  /// Preempt the in-flight BE kernel via the eviction flag (§7.1). The
+  /// kernel restarts from scratch at the next launch_be().
+  void evict_be();
+
+  /// Schedule a future policy wake-up (policies with timed behaviour,
+  /// e.g. TGS's container switching).
+  void poke_at(TimeNs t);
+
+ private:
+  struct LsJob {
+    JobId id;
+    unsigned service;
+    TimeNs arrival;
+    size_t cursor = 0;
+    bool in_flight = false;
+  };
+
+  void arrive(const workload::Request& r);
+  void admit(unsigned service, TimeNs arrival);
+  void finish_ls_kernel(JobId id);
+  void finish_be_kernel();
+  void poke();
+
+  ServingConfig cfg_;
+  std::vector<LsServiceSpec> ls_;
+  std::vector<BeTaskSpec> be_;
+  Policy& policy_;
+
+  EventQueue queue_;
+  std::unique_ptr<gpusim::GpuExecutor> exec_;
+  workload::ServingMetrics metrics_;
+
+  std::deque<LsJob> jobs_;                     // admitted LS jobs
+  std::vector<unsigned> free_instances_;       // per service
+  std::vector<std::deque<TimeNs>> backlog_;    // queued arrivals per service
+  size_t ls_inflight_ = 0;
+  JobId next_job_ = 1;
+
+  unsigned be_current_ = 0;   // rotation position
+  size_t be_cursor_ = 0;      // kernel index within the current BE batch
+  TimeNs be_started_ = 0;     // busy-time accounting
+  TimeNs ls_busy_since_ = 0;
+  bool be_in_flight_ = false;
+  bool be_evicting_ = false;
+  gpusim::GpuExecutor::LaunchId be_launch_ = 0;
+
+  bool in_schedule_ = false;
+  bool repoke_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace sgdrc::core

@@ -1,0 +1,197 @@
+#include "core/sgdrc_policy.h"
+
+#include <algorithm>
+
+namespace sgdrc::core {
+
+using gpusim::ChannelSet;
+using gpusim::TpcMask;
+
+ChannelSet be_channel_partition(const gpusim::GpuSpec& spec, double ch_be) {
+  SGDRC_REQUIRE(ch_be > 0.0 && ch_be < 1.0, "ChBE must be in (0,1)");
+  const unsigned group = spec.channel_group_size;
+  unsigned want = static_cast<unsigned>(
+      static_cast<double>(spec.num_channels) * ch_be + 0.5);
+  // Round to whole groups, at least one group, leaving at least one for LS.
+  want = std::max(group, (want / group) * group);
+  want = std::min(want, spec.num_channels - group);
+  // BE gets the highest-numbered channels.
+  ChannelSet s = 0;
+  for (unsigned c = spec.num_channels - want; c < spec.num_channels; ++c) {
+    s |= gpusim::channel_bit(c);
+  }
+  return s;
+}
+
+SgdrcPolicy::SgdrcPolicy(const gpusim::GpuSpec& spec, SgdrcOptions opt)
+    : opt_(opt), num_tpcs_(spec.num_tpcs) {
+  be_channels_ = be_channel_partition(spec, opt_.ch_be);
+  ls_channels_ = gpusim::all_channels(spec.num_channels) & ~be_channels_;
+}
+
+void SgdrcPolicy::schedule(ServingSim& sim) {
+  const auto waiting = sim.waiting_ls_jobs();
+  const bool ls_active = !waiting.empty() || sim.ls_inflight() > 0;
+  const bool be_present = sim.has_be();
+  const auto be = be_present ? sim.be_state()
+                             : ServingSim::BeView{0, nullptr, false, false};
+
+  if (ls_active) last_ls_activity_ = sim.now();
+
+  // Snapshot current occupancy.
+  TpcMask ls_used = 0;
+  TpcMask be_mask_running = 0;
+  bool be_monopolising = false;
+  bool be_kernel_memory_bound = false;
+  for (const auto& info : sim.exec().running_infos()) {
+    if (info.tag == ~uint64_t{0}) {
+      be_mask_running =
+          info.tpc_mask ? info.tpc_mask : gpusim::full_tpc_mask(num_tpcs_);
+      be_kernel_memory_bound = info.kernel->memory_bound;
+      // Only memory-bound BE kernels have a channel mode to fix; others
+      // always run with default mapping and need no channel eviction.
+      be_monopolising = info.channels == 0 && info.kernel->memory_bound;
+    } else {
+      ls_used |= info.tpc_mask;
+    }
+  }
+
+  // ---- LS side: pack co-executing LS kernels into disjoint SM_LS
+  // slices (Fig. 13b), preferring idle TPCs; TPCs the BE kernel occupies
+  // are claimed only under pressure — that is the preemption case
+  // (eviction flag, Fig. 13a).
+  bool need_eviction = ls_active && be_monopolising;
+  if (!waiting.empty()) {
+    // Bimodal tensors (Fig. 14): LS memory-bound kernels shift to the
+    // (1−ChBE) channel partition only while a memory-bound BE kernel
+    // shares the GPU; compute-bound BE kernels pose no channel conflict.
+    const bool colocated = be.in_flight && be_kernel_memory_bound;
+    size_t launched = 0;
+    for (const auto& job : waiting) {
+      if (launched >= opt_.sliding_window) break;
+      if (ls_used == gpusim::full_tpc_mask(num_tpcs_)) break;
+      const unsigned need = std::max(1u, job.next_kernel->min_tpcs);
+      TpcMask mask = 0;
+      unsigned got = 0;
+      // Pass 1: idle TPCs (not LS, not BE), top-down.
+      for (int t = static_cast<int>(num_tpcs_) - 1; t >= 0 && got < need;
+           --t) {
+        const TpcMask bit = gpusim::tpc_bit(static_cast<unsigned>(t));
+        if ((ls_used | be_mask_running) & bit) continue;
+        mask |= bit;
+        ++got;
+      }
+      // Pass 2: under pressure, take BE-held TPCs (preempting BE).
+      for (int t = static_cast<int>(num_tpcs_) - 1; t >= 0 && got < need;
+           --t) {
+        const TpcMask bit = gpusim::tpc_bit(static_cast<unsigned>(t));
+        if ((ls_used & bit) || !(be_mask_running & bit)) continue;
+        mask |= bit;
+        ++got;
+        need_eviction = true;
+      }
+      if (got == 0) break;  // everything is held by other LS kernels
+      ls_used |= mask;
+      sim.launch_ls(job.id, mask, colocated ? ls_channels_ : 0);
+      ++launched;
+    }
+  }
+
+  // Promotion: when LS has drained but the BE kernel is still running in
+  // colocation mode (narrow mask / ChBE channels), restart it with the
+  // full GPU — the monopolisation transition of Fig. 14c→d. A short
+  // grace period avoids thrashing on sub-200us LS gaps.
+  if (!need_eviction && be.in_flight && !be.evicting && !ls_active) {
+    const bool colocated_mode =
+        be_mask_running != gpusim::full_tpc_mask(num_tpcs_);
+    if (colocated_mode &&
+        sim.now() >= last_ls_activity_ + 200 * kNsPerUs) {
+      need_eviction = true;
+    } else if (colocated_mode) {
+      sim.poke_at(last_ls_activity_ + 200 * kNsPerUs);
+    }
+  }
+
+  if (be.in_flight && !be.evicting && need_eviction) {
+    sim.evict_be();
+  }
+
+  // ---- Sliding-window SM reservation (§7.1): the BE mask keeps clear of
+  // the TPCs the next LS kernels will need ("LS kernels waiting in the
+  // launch queue may consume more SMs than the currently allocated
+  // ones"), so preemptions stay rare. The reserve tracks the peak of
+  // recent concurrent LS usage: it rises instantly and decays one TPC
+  // per decay interval.
+  unsigned window_need = 1;
+  for (const auto* k : sim.upcoming_ls_kernels(opt_.sliding_window)) {
+    window_need = std::max(window_need, std::max(1u, k->min_tpcs));
+  }
+  window_need = std::max(window_need, gpusim::tpc_count(ls_used));
+  if (window_need >= ls_reserve_) {
+    ls_reserve_ = std::min(num_tpcs_, window_need);
+    last_decay_ = sim.now();
+  } else if (sim.now() >= last_decay_ + opt_.reserve_decay_interval) {
+    const unsigned steps = static_cast<unsigned>(
+        (sim.now() - last_decay_) / opt_.reserve_decay_interval);
+    ls_reserve_ = std::max(window_need,
+                           ls_reserve_ > steps ? ls_reserve_ - steps : 1u);
+    last_decay_ = sim.now();
+  }
+
+  // ---- BE side: fill the tide pool. ----
+  if (be_present && !be.in_flight) {
+    if (!ls_active) {
+      // Monopolisation state (§7.2a): the LS kernel queue is empty, so
+      // the BE kernel takes the whole GPU and — through its all-channel
+      // bimodal tensor copies — the full VRAM bandwidth (Fig. 14a/d).
+      // When LS returns it preempts via the eviction flag (Fig. 13a).
+      sim.launch_be(0, 0);
+    } else {
+      const TpcMask reserved =
+          gpusim::tpc_range(num_tpcs_ - ls_reserve_, ls_reserve_);
+      const TpcMask free =
+          gpusim::full_tpc_mask(num_tpcs_) & ~ls_used & ~reserved;
+      if (free) {
+        sim.launch_be(free, be_channels_);
+      }
+      // else: LS holds every TPC; the next completion re-schedules us.
+    }
+  }
+}
+
+SgdrcStaticPolicy::SgdrcStaticPolicy(const gpusim::GpuSpec& spec) {
+  const unsigned half = spec.num_tpcs / 2;
+  ls_mask_ = gpusim::tpc_range(half, spec.num_tpcs - half);
+  be_mask_ = gpusim::tpc_range(0, half);
+  be_channels_ = be_channel_partition(spec, 0.5);
+  ls_channels_ = gpusim::all_channels(spec.num_channels) & ~be_channels_;
+}
+
+void SgdrcStaticPolicy::schedule(ServingSim& sim) {
+  // Static even split (§9.2's ablation): LS kernels co-execute inside the
+  // fixed LS half, BE keeps its half; no tide, no preemption.
+  TpcMask ls_used = 0;
+  for (const auto& info : sim.exec().running_infos()) {
+    if (info.tag != ~uint64_t{0}) ls_used |= info.tpc_mask;
+  }
+  for (const auto& job : sim.waiting_ls_jobs()) {
+    const TpcMask free = ls_mask_ & ~ls_used;
+    if (!free) break;
+    const unsigned need = std::max(1u, job.next_kernel->min_tpcs);
+    TpcMask mask = 0;
+    unsigned got = 0;
+    for (int t = 63; t >= 0 && got < need; --t) {
+      const TpcMask bit = TpcMask{1} << t;
+      if (!(free & bit)) continue;
+      mask |= bit;
+      ++got;
+    }
+    ls_used |= mask;
+    sim.launch_ls(job.id, mask, ls_channels_);
+  }
+  if (sim.has_be() && !sim.be_state().in_flight) {
+    sim.launch_be(be_mask_, be_channels_);
+  }
+}
+
+}  // namespace sgdrc::core

@@ -1,0 +1,73 @@
+// SGDRC's online scheduler (§4 online phase, §7):
+//
+//  * spatial-temporal multiplexing: at most one LS kernel and one BE
+//    kernel co-execute; LS/BE queues are served in order;
+//  * tidal SM masking (§7.1): the LS partition grows to the maximum
+//    min-TPC requirement over a sliding window of queued LS kernels and
+//    shrinks to zero when LS goes idle; the BE partition is the tide pool
+//    left behind. LS preempts BE via the eviction flag when the BE kernel
+//    holds TPCs the LS kernel needs;
+//  * bimodal tensors (§7.2): when colocated, memory-bound LS kernels run
+//    on (1−ChBE) of the channels and memory-bound BE kernels on ChBE;
+//    when either side is alone it gets every channel (monopolisation).
+//
+// SgdrcStaticPolicy is §9.2's "SGDRC (Static)" ablation: the same
+// partitions, frozen at an even split, with no tide and no preemption.
+#pragma once
+
+#include "core/serving.h"
+#include "gpusim/resources.h"
+
+namespace sgdrc::core {
+
+struct SgdrcOptions {
+  double ch_be = 1.0 / 3.0;    // §6's default BE channel share
+  size_t sliding_window = 8;   // §7.1 sliding-window length
+  /// How long the LS reservation outlives the last LS activity. The
+  /// sliding window reserves SMs for kernels "waiting in the kernel
+  /// launch queue" (§7.1); holding the reservation across momentary idle
+  /// gaps prevents monopolise→preempt thrash that would waste BE work.
+  TimeNs reservation_window = 300 * kNsPerUs;
+  /// The SM reservation decays one TPC per this interval when LS demand
+  /// falls, so the BE mask follows the tide without flapping per event.
+  TimeNs reserve_decay_interval = 100 * kNsPerUs;
+};
+
+class SgdrcPolicy : public Policy {
+ public:
+  explicit SgdrcPolicy(const gpusim::GpuSpec& spec, SgdrcOptions opt = {});
+
+  std::string name() const override { return "SGDRC"; }
+  void schedule(ServingSim& sim) override;
+
+  gpusim::ChannelSet be_channels() const { return be_channels_; }
+  gpusim::ChannelSet ls_channels() const { return ls_channels_; }
+
+ private:
+  SgdrcOptions opt_;
+  unsigned num_tpcs_;
+  gpusim::ChannelSet be_channels_;  // ChBE  of the channels
+  gpusim::ChannelSet ls_channels_;  // 1−ChBE
+  TimeNs last_ls_activity_ = 0;     // tide clock
+  unsigned ls_reserve_ = 1;         // sliding-window SM reservation
+  TimeNs last_decay_ = 0;           // reserve decay clock
+};
+
+class SgdrcStaticPolicy : public Policy {
+ public:
+  explicit SgdrcStaticPolicy(const gpusim::GpuSpec& spec);
+
+  std::string name() const override { return "SGDRC (Static)"; }
+  void schedule(ServingSim& sim) override;
+
+ private:
+  gpusim::TpcMask ls_mask_, be_mask_;
+  gpusim::ChannelSet ls_channels_, be_channels_;
+};
+
+/// Round channel count to whole channel groups so the partition stays
+/// colorable at the group granularity (Tab. 4).
+gpusim::ChannelSet be_channel_partition(const gpusim::GpuSpec& spec,
+                                        double ch_be);
+
+}  // namespace sgdrc::core

@@ -1,0 +1,63 @@
+// libsmctrl-style compute partitioning (§7.1): SGDRC "leverages NVIDIA's
+// little-known official interface" — the Task Meta Data (TMD) word that
+// restricts which TPCs a launched kernel's blocks may be scheduled onto.
+//
+// The executor honours the mask attached to each launch; this wrapper is
+// the driver-facing surface that validates and composes masks, and keeps
+// the global-default / per-launch precedence that libsmctrl exposes.
+#pragma once
+
+#include "common/error.h"
+#include "gpusim/gpu_spec.h"
+#include "gpusim/resources.h"
+
+namespace sgdrc::driver {
+
+using gpusim::full_tpc_mask;
+using gpusim::tpc_bit;
+using gpusim::tpc_count;
+using gpusim::tpc_range;
+using gpusim::TpcMask;
+
+class SmCtrl {
+ public:
+  explicit SmCtrl(const gpusim::GpuSpec& spec)
+      : num_tpcs_(spec.num_tpcs), global_(full_tpc_mask(spec.num_tpcs)) {}
+
+  unsigned num_tpcs() const { return num_tpcs_; }
+  TpcMask full() const { return full_tpc_mask(num_tpcs_); }
+
+  /// Validate a mask against this GPU (non-empty, within range).
+  TpcMask validate(TpcMask mask) const {
+    SGDRC_REQUIRE(mask != 0, "empty TPC mask would starve the kernel");
+    SGDRC_REQUIRE((mask & ~full()) == 0, "mask references missing TPCs");
+    return mask;
+  }
+
+  /// libsmctrl's global default mask (applies when a launch passes 0).
+  void set_global_mask(TpcMask mask) { global_ = validate(mask); }
+  TpcMask global_mask() const { return global_; }
+
+  /// Effective mask for a launch: per-launch overrides global.
+  TpcMask effective(TpcMask per_launch) const {
+    return per_launch == 0 ? global_ : validate(per_launch);
+  }
+
+  /// Convenience: the `count` TPCs with the highest indices — SGDRC grows
+  /// the LS partition from one end and the BE partition from the other
+  /// (tidal masking, Fig. 13).
+  TpcMask top(unsigned count) const {
+    SGDRC_REQUIRE(count <= num_tpcs_, "more TPCs than the GPU has");
+    return tpc_range(num_tpcs_ - count, count);
+  }
+  TpcMask bottom(unsigned count) const {
+    SGDRC_REQUIRE(count <= num_tpcs_, "more TPCs than the GPU has");
+    return tpc_range(0, count);
+  }
+
+ private:
+  unsigned num_tpcs_;
+  TpcMask global_;
+};
+
+}  // namespace sgdrc::driver

@@ -1,0 +1,157 @@
+#include "driver/uvm_pool.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/bitops.h"
+
+namespace sgdrc::driver {
+
+using gpusim::kPageBytes;
+using gpusim::kPartitionBytes;
+using gpusim::PhysAddr;
+
+UvmMemoryPool::UvmMemoryPool(gpusim::GpuDevice& dev, UvmPoolOptions opt)
+    : dev_(dev), opt_(std::move(opt)) {
+  SGDRC_REQUIRE(opt_.channel_of != nullptr, "pool needs a channel labeler");
+  SGDRC_REQUIRE(opt_.granularity_kib >= 1 &&
+                    is_pow2(opt_.granularity_kib) &&
+                    opt_.granularity_kib * 1024 <= kPageBytes,
+                "granularity must be a power-of-two KiB within a page");
+  const unsigned max_gran = dev.spec().max_coloring_granularity_kib();
+  SGDRC_REQUIRE(opt_.granularity_kib <= max_gran,
+                "granularity exceeds the GPU's contiguous channel run "
+                "(Tab. 4 rule)");
+
+  const uint64_t pages = opt_.pool_bytes >> gpusim::kPageBits;
+  SGDRC_REQUIRE(pages > 0, "pool too small");
+  const uint64_t sector = sector_bytes();
+  const unsigned parts_per_sector =
+      static_cast<unsigned>(sector / kPartitionBytes);
+
+  frames_.reserve(pages);
+  for (uint64_t i = 0; i < pages; ++i) {
+    const uint64_t pfn = dev_.page_table().take_free_frame();
+    frames_.push_back(pfn);
+    const PhysAddr base = pfn << gpusim::kPageBits;
+    for (unsigned s = 0; s < sectors_per_page(); ++s) {
+      // Color = set of channels covered by the sector's partitions.
+      ChannelSet color = 0;
+      bool unknown = false;
+      for (unsigned p = 0; p < parts_per_sector; ++p) {
+        const int ch =
+            opt_.channel_of(base + s * sector + p * kPartitionBytes);
+        if (ch < 0) {
+          unknown = true;
+          break;
+        }
+        color |= channel_bit(static_cast<unsigned>(ch));
+      }
+      if (unknown) {
+        ++quarantined_;
+        continue;
+      }
+      free_[ChunkKey{color, s}].push_back(pfn);
+      ++total_chunks_;
+    }
+  }
+}
+
+UvmMemoryPool::~UvmMemoryPool() {
+  for (const uint64_t pfn : frames_) {
+    dev_.page_table().release_frame(pfn);
+  }
+}
+
+std::vector<ChannelSet> UvmMemoryPool::colors() const {
+  std::set<ChannelSet> seen;
+  for (const auto& [key, list] : free_) seen.insert(key.color);
+  return {seen.begin(), seen.end()};
+}
+
+uint64_t UvmMemoryPool::free_chunks(ChannelSet allowed) const {
+  uint64_t n = 0;
+  for (const auto& [key, list] : free_) {
+    if (subset_of(key.color, allowed)) n += list.size();
+  }
+  return n;
+}
+
+ColoredBuffer UvmMemoryPool::allocate(uint64_t bytes, ChannelSet allowed) {
+  SGDRC_REQUIRE(bytes > 0, "zero-byte colored allocation");
+  const uint64_t sector = sector_bytes();
+  const uint64_t chunks = ceil_div(bytes, sector);
+
+  // All chunks must share one sector id (the transformed kernel shifts its
+  // base by sector × sector_size once). Pick the sector id with the most
+  // free capacity among allowed colors.
+  unsigned best_sector = 0;
+  uint64_t best_free = 0;
+  for (unsigned s = 0; s < sectors_per_page(); ++s) {
+    uint64_t avail = 0;
+    for (const auto& [key, list] : free_) {
+      if (key.sector == s && subset_of(key.color, allowed)) {
+        avail += list.size();
+      }
+    }
+    if (avail > best_free) {
+      best_free = avail;
+      best_sector = s;
+    }
+  }
+  SGDRC_REQUIRE(best_free >= chunks,
+                "pool exhausted for color set " +
+                    channel_set_to_string(allowed));
+
+  ColoredBuffer buf;
+  buf.logical_bytes = bytes;
+  buf.sector = best_sector;
+  buf.granularity_kib = opt_.granularity_kib;
+  buf.va_bytes = chunks * kPageBytes;  // stride-expanded VA footprint
+  buf.va = dev_.page_table().alloc_va(buf.va_bytes);
+  buf.pfns.reserve(chunks);
+
+  uint64_t taken = 0;
+  for (auto& [key, list] : free_) {
+    if (key.sector != best_sector || !subset_of(key.color, allowed)) {
+      continue;
+    }
+    while (!list.empty() && taken < chunks) {
+      const uint64_t pfn = list.back();
+      list.pop_back();
+      // Shadow page table write (Fig. 12a step 3): VA page ↦ pool frame.
+      dev_.page_table().map_page(buf.va + taken * kPageBytes, pfn);
+      buf.pfns.push_back(pfn);
+      buf.colors |= key.color;
+      ++taken;
+    }
+    if (taken == chunks) break;
+  }
+  SGDRC_CHECK(taken == chunks, "chunk accounting mismatch");
+  return buf;
+}
+
+void UvmMemoryPool::release(ColoredBuffer& buf) {
+  SGDRC_REQUIRE(buf.va != 0, "releasing an empty buffer");
+  const uint64_t sector = sector_bytes();
+  const unsigned parts_per_sector =
+      static_cast<unsigned>(sector / kPartitionBytes);
+  for (size_t i = 0; i < buf.pfns.size(); ++i) {
+    const uint64_t pfn = buf.pfns[i];
+    dev_.page_table().unmap_page(buf.va + i * kPageBytes);
+    // Re-derive the chunk's color for its free list.
+    const PhysAddr base =
+        (pfn << gpusim::kPageBits) + buf.sector * sector;
+    ChannelSet color = 0;
+    for (unsigned p = 0; p < parts_per_sector; ++p) {
+      const int ch = opt_.channel_of(base + p * kPartitionBytes);
+      SGDRC_CHECK(ch >= 0, "released chunk lost its label");
+      color |= channel_bit(static_cast<unsigned>(ch));
+    }
+    free_[ChunkKey{color, buf.sector}].push_back(pfn);
+  }
+  buf.pfns.clear();
+  buf.va = 0;
+}
+
+}  // namespace sgdrc::driver

@@ -1,0 +1,42 @@
+// Physical / virtual address types and the address-bit structure the paper
+// reverse-engineered (Fig. 10):
+//
+//   bits  0..6   cacheline offset (128 B lines)
+//   bits  0..9   offset inside a 1 KiB VRAM channel partition
+//   bits 10..34  input of the VRAM channel hash mapping
+//   bits 12..    page number (4 KiB minimum MMU page)
+#pragma once
+
+#include <cstdint>
+
+namespace sgdrc::gpusim {
+
+using PhysAddr = uint64_t;
+using VirtAddr = uint64_t;
+
+constexpr unsigned kCachelineBits = 7;    // 128 B
+constexpr unsigned kPartitionBits = 10;   // 1 KiB channel partition
+constexpr unsigned kPageBits = 12;        // 4 KiB GPU MMU page
+constexpr unsigned kHashInputHighBit = 34;
+
+constexpr uint64_t kCachelineBytes = 1ull << kCachelineBits;
+constexpr uint64_t kPartitionBytes = 1ull << kPartitionBits;
+constexpr uint64_t kPageBytes = 1ull << kPageBits;
+
+/// 1 KiB channel-partition index of a physical address.
+constexpr uint64_t partition_of(PhysAddr pa) { return pa >> kPartitionBits; }
+
+/// 128 B cacheline index of a physical address.
+constexpr uint64_t line_of(PhysAddr pa) { return pa >> kCachelineBits; }
+
+/// 4 KiB page frame number of a physical address.
+constexpr uint64_t frame_of(PhysAddr pa) { return pa >> kPageBits; }
+
+/// Virtual page number.
+constexpr uint64_t vpn_of(VirtAddr va) { return va >> kPageBits; }
+
+constexpr uint64_t page_offset(uint64_t addr) {
+  return addr & (kPageBytes - 1);
+}
+
+}  // namespace sgdrc::gpusim

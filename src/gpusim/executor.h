@@ -1,0 +1,147 @@
+// Kernel-level discrete-event executor: the substrate on which every
+// scheduler in the evaluation (SGDRC and all baselines) runs.
+//
+// Model: processor-sharing roofline. A running kernel's instantaneous
+// runtime is
+//
+//   t = overhead + max(t_compute, t_memory) × (1 + spt_overhead?)
+//
+//   t_compute: FLOPs over the throughput of its TPC-mask share. TPCs
+//     time-share among kernels whose masks overlap, with an intra-SM
+//     interference penalty γ per co-runner (L1/FPU/shared-memory
+//     contention — Fig. 3a). Parallelism is capped by the kernel's grid
+//     (max_useful_tpcs) — why a minimum-TPC count exists (§7.1).
+//   t_memory: bytes over the bandwidth of its channel-set share. Channels
+//     are shared demand-proportionally among kernels whose channel sets
+//     overlap, with an inter-SM penalty β per co-runner (L2/MSHR/bank
+//     contention — Fig. 3b; this is what cache coloring removes). A
+//     shrunken channel set also shrinks usable L2 (λ factor) — FGPU's
+//     static-partitioning downside (§3.2).
+//
+// Rates are recomputed at every launch / completion / eviction, so
+// progress between events is linear (fluid processor sharing).
+//
+// Preemption (§7.1): BE kernels poll an eviction flag; evict() kills the
+// kernel after the microsecond-scale flag-check latency and all progress
+// is lost — the scheduler must relaunch to restart, exactly the paper's
+// (and Reef's) reset semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/sim_time.h"
+#include "gpusim/gpu_spec.h"
+#include "gpusim/kernel.h"
+#include "gpusim/resources.h"
+
+namespace sgdrc::gpusim {
+
+struct ExecutorParams {
+  double intra_sm_gamma = 0.25;       // per-co-runner intra-SM penalty
+  double inter_channel_beta = 0.45;   // per-co-runner channel penalty
+  // Contention penalties saturate (L1/MSHR/bank queues fill up): caps on
+  // the multiplicative factors, matching the few-× degradations of
+  // Fig. 3 rather than unbounded growth.
+  double max_intra_penalty = 3.0;
+  double max_inter_penalty = 3.0;
+  double l2_shrink_lambda = 0.18;     // memory slowdown per lost L2 slice
+  TimeNs launch_overhead = 3 * kNsPerUs;
+  TimeNs evict_latency = 4 * kNsPerUs;  // flag check → reset (Reef-scale)
+  double spt_overhead = 0.029;          // §9.1.2 measured SPT cost
+};
+
+struct KernelLaunch {
+  const KernelDesc* kernel = nullptr;
+  TpcMask tpc_mask = 0;      // 0 ⇒ all TPCs
+  ChannelSet channels = 0;   // 0 ⇒ all channels
+  uint64_t tag = 0;          // scheduler cookie (task id, queue id, ...)
+};
+
+class GpuExecutor {
+ public:
+  using LaunchId = uint64_t;
+  /// Completion: launch id, completion time.
+  using CompletionFn = std::function<void(LaunchId, TimeNs)>;
+  /// Eviction: launch id, time the kernel actually stopped.
+  using EvictionFn = std::function<void(LaunchId, TimeNs)>;
+
+  GpuExecutor(const GpuSpec& spec, EventQueue& queue,
+              ExecutorParams params = {});
+
+  /// Start a kernel. The completion callback fires from the event queue.
+  LaunchId launch(const KernelLaunch& l, CompletionFn on_complete);
+
+  /// Preempt a running kernel via the eviction flag. Only preemptible
+  /// kernels accept this. No-op (returns false) if already finished.
+  bool evict(LaunchId id, EvictionFn on_evicted);
+
+  bool running(LaunchId id) const { return running_.count(id) != 0; }
+  size_t running_count() const { return running_.size(); }
+  TimeNs now() const { return queue_.now(); }
+  const GpuSpec& spec() const { return spec_; }
+  const ExecutorParams& params() const { return params_; }
+
+  /// Closed-form runtime of a kernel running alone with the given
+  /// allocation — the offline profiler's measurement primitive.
+  TimeNs solo_runtime(const KernelDesc& k, unsigned tpcs, unsigned channels,
+                      bool spt_transformed) const;
+
+  /// Resource views for schedulers.
+  struct RunningInfo {
+    const KernelDesc* kernel;
+    TpcMask tpc_mask;
+    ChannelSet channels;
+    uint64_t tag;
+    TimeNs started;
+  };
+  std::optional<RunningInfo> info(LaunchId id) const;
+  /// Snapshot of every running kernel (scheduler admission checks).
+  std::vector<RunningInfo> running_infos() const;
+  /// Union of TPC masks (channel sets) of running kernels.
+  TpcMask busy_tpcs() const;
+  ChannelSet busy_channels() const;
+
+  uint64_t launches() const { return stats_launches_; }
+  uint64_t completions() const { return stats_completions_; }
+  uint64_t evictions() const { return stats_evictions_; }
+
+ private:
+  struct Running {
+    KernelLaunch launch;
+    CompletionFn on_complete;
+    double remaining = 1.0;        // fraction of work left
+    double rate = 0.0;             // fraction per ns under current alloc
+    double demand_gbps = 0.0;      // natural bandwidth demand (bytes/ns)
+    TimeNs last_update = 0;
+    TimeNs started = 0;
+    EventId completion_event = 0;
+    bool has_completion_event = false;
+    bool eviction_pending = false;
+  };
+
+  void settle_progress();      // apply rates up to now
+  void recompute_rates();      // re-derive rates + completion events
+  double runtime_ns(const Running& r) const;  // t under current sharing
+  double parallelism_cap(const KernelDesc& k) const;
+  void finish(LaunchId id);
+  void kill(LaunchId id, EvictionFn on_evicted);
+
+  double per_tpc_flops_per_ns() const;
+  double per_channel_bytes_per_ns() const;
+
+  GpuSpec spec_;
+  EventQueue& queue_;
+  ExecutorParams params_;
+  std::map<LaunchId, Running> running_;
+  LaunchId next_id_ = 1;
+  uint64_t stats_launches_ = 0;
+  uint64_t stats_completions_ = 0;
+  uint64_t stats_evictions_ = 0;
+};
+
+}  // namespace sgdrc::gpusim

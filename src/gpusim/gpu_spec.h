@@ -1,0 +1,95 @@
+// Parameterised description of a simulated NVIDIA GPU.
+//
+// The three presets mirror Tab. 1 of the paper (VRAM size, bus width,
+// channel count) plus the microarchitectural parameters the experiments
+// depend on (channel grouping from Tab. 4, cache-noise rates from §3.2,
+// TPC counts, bandwidth/compute envelopes for the kernel-level model).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/sim_time.h"
+
+namespace sgdrc::gpusim {
+
+struct GpuSpec {
+  std::string name;
+  std::string architecture;  // "Pascal" or "Ampere"
+
+  // ---- Tab. 1 ----
+  uint64_t vram_bytes = 0;
+  unsigned vram_bus_width_bits = 0;
+  unsigned bus_width_per_gddr_bits = 32;
+  unsigned num_channels = 0;  // = vram_bus_width / bus_width_per_gddr
+
+  // ---- VRAM channel layout (§5.2, Tab. 4) ----
+  // Channels come in contiguous groups: quads on Pascal-class parts,
+  // pairs on Ampere-class parts. One group's channels occupy
+  // channel_group_size consecutive 1 KiB partitions; this bounds the
+  // maximum cache-coloring granularity.
+  unsigned channel_group_size = 4;
+  // True on parts whose channel hash is a pure XOR fold of address bits
+  // (the GTX 1080 case FGPU relies on); false for the non-linear family.
+  bool linear_hash = false;
+  // Seed of the hidden "gate circuit". Reverse-engineering code must never
+  // read this; it only sees timings.
+  uint64_t hash_key = 0x5adface;
+
+  // ---- Compute ----
+  unsigned num_tpcs = 0;
+  unsigned sms_per_tpc = 2;
+  double peak_tflops = 0.0;  // aggregate FP32
+  unsigned max_resident_blocks_per_sm = 16;
+
+  // ---- Memory hierarchy ----
+  uint64_t l2_bytes = 0;  // total; sliced evenly across channels
+  unsigned l2_ways = 16;
+  unsigned l2_line_bytes = 128;
+  unsigned mshrs_per_channel = 48;
+  unsigned dram_banks_per_channel = 16;
+  double vram_gbps = 0.0;  // full-GPU VRAM bandwidth
+  // Probability that an L2 fill is silently bypassed by the black-box
+  // cache policy (≈1 % Pascal, ≈5 % Ampere per §3.2 / §5.3).
+  double cache_noise_rate = 0.0;
+
+  // ---- Memory-level timing (simulated ns) ----
+  TimeNs l2_hit_ns = 160;
+  TimeNs dram_row_hit_ns = 220;    // added on an L2 miss, open row
+  TimeNs dram_row_miss_ns = 330;   // added on an L2 miss, row activate
+  TimeNs bank_conflict_ns = 260;   // extra serialisation, same bank+new row
+  TimeNs channel_serial_ns = 40;   // extra when two requests share a channel
+
+  // Derived quantities -----------------------------------------------------
+  unsigned num_sms() const { return num_tpcs * sms_per_tpc; }
+  unsigned num_groups() const { return num_channels / channel_group_size; }
+  uint64_t l2_slice_bytes() const { return l2_bytes / num_channels; }
+  uint64_t partitions() const { return vram_bytes >> 10; }
+  /// Fig. 10: maximum coloring granularity in KiB equals the number of
+  /// contiguous channels in a group (Tab. 4 rule 2).
+  unsigned max_coloring_granularity_kib() const { return channel_group_size; }
+  unsigned min_coloring_granularity_kib() const { return 1; }
+  double per_channel_gbps() const {
+    return vram_gbps / static_cast<double>(num_channels);
+  }
+  double per_tpc_tflops() const {
+    return peak_tflops / static_cast<double>(num_tpcs);
+  }
+};
+
+/// NVIDIA GTX 1080 (Pascal, 8 GiB, 256-bit, 8 channels, linear XOR hash —
+/// the one GPU family FGPU's reverse engineering supports).
+GpuSpec gtx1080();
+
+/// NVIDIA Tesla P40 (Pascal, 24 GiB, 384-bit, 12 channels, quad channel
+/// groups, non-linear hash, ~1 % cache noise).
+GpuSpec tesla_p40();
+
+/// NVIDIA RTX A2000 (Ampere, 12 GiB, 192-bit, 6 channels, paired channel
+/// groups, non-linear hash, ~5 % cache noise).
+GpuSpec rtx_a2000();
+
+/// Small synthetic part for fast unit tests (512 MiB, 4 channels).
+GpuSpec test_gpu();
+
+}  // namespace sgdrc::gpusim

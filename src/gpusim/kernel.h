@@ -1,0 +1,52 @@
+// Kernel descriptor — the executor's unit of work and the kernel
+// transformer's input. The paper's toolchain gets kernels from TVM/Ansor;
+// here the model zoo synthesises descriptors with the same observable
+// properties: FLOP count, DRAM traffic, grid shape, register pressure and
+// the array-access expressions the SPT transformer rewrites (Fig. 12b/c).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace sgdrc::gpusim {
+
+/// One global-memory access site in the kernel body.
+struct KernelAccess {
+  int tensor = -1;      // index into the owning model's tensor list
+  int index_expr = 0;   // id of the index expression (shared ids = reuse)
+  bool writes = false;
+};
+
+struct KernelDesc {
+  std::string name;
+
+  // ---- Static properties (from compilation) ----
+  uint64_t flops = 0;             // floating-point work
+  uint64_t bytes = 0;             // DRAM traffic, read + write
+  unsigned blocks = 1;            // grid size
+  unsigned threads_per_block = 256;
+  unsigned base_registers = 32;   // per-thread registers, untransformed
+  std::vector<KernelAccess> accesses;
+
+  /// BE kernels are compiled with the eviction-flag poll (ld.cv) and can
+  /// be preempted mid-run (§7.1); LS kernels are not.
+  bool preemptible = false;
+
+  /// Set by the SPT kernel transformer (§6): array indices are rewritten
+  /// through translate(), costing ~2 int ops per access (§9.1.2).
+  bool spt_transformed = false;
+
+  // ---- Parallelism ----
+  /// TPCs beyond this do not reduce runtime (grid too small); the offline
+  /// profiler's binary search discovers this as SM_LS (§7.1).
+  double max_useful_tpcs = 1e9;
+
+  // ---- Filled by offline profiling (§4) ----
+  bool memory_bound = false;  // runtime degrades under L2 thrashing
+  unsigned min_tpcs = 0;      // minimum TPCs for optimal latency
+};
+
+}  // namespace sgdrc::gpusim

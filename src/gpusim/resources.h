@@ -1,0 +1,61 @@
+// Low-level resource-set types shared by the driver, the executor and the
+// schedulers: VRAM channel sets (cache coloring) and TPC masks (TMD-style
+// SM masking).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "common/error.h"
+
+namespace sgdrc::gpusim {
+
+// ---------------------------------------------------------------------
+// Channel sets: bit i set = VRAM channel i.
+// ---------------------------------------------------------------------
+using ChannelSet = uint32_t;
+
+constexpr ChannelSet channel_bit(unsigned ch) { return 1u << ch; }
+constexpr bool subset_of(ChannelSet a, ChannelSet b) { return (a & ~b) == 0; }
+constexpr unsigned channel_count(ChannelSet s) {
+  return static_cast<unsigned>(std::popcount(s));
+}
+inline ChannelSet all_channels(unsigned num_channels) {
+  SGDRC_REQUIRE(num_channels > 0 && num_channels < 32,
+                "channel count out of range");
+  return (ChannelSet{1} << num_channels) - 1;
+}
+inline std::string channel_set_to_string(ChannelSet s) {
+  std::string out = "{";
+  bool first = true;
+  for (unsigned c = 0; c < 32; ++c) {
+    if (s & channel_bit(c)) {
+      if (!first) out += ",";
+      out += static_cast<char>('A' + c);
+      first = false;
+    }
+  }
+  return out + "}";
+}
+
+// ---------------------------------------------------------------------
+// TPC masks: bit i set = kernel may be scheduled on TPC i.
+// ---------------------------------------------------------------------
+using TpcMask = uint64_t;
+
+constexpr TpcMask tpc_bit(unsigned tpc) { return TpcMask{1} << tpc; }
+constexpr unsigned tpc_count(TpcMask m) {
+  return static_cast<unsigned>(std::popcount(m));
+}
+inline TpcMask full_tpc_mask(unsigned num_tpcs) {
+  SGDRC_REQUIRE(num_tpcs > 0 && num_tpcs < 64, "TPC count out of range");
+  return (TpcMask{1} << num_tpcs) - 1;
+}
+/// Mask of `count` TPCs starting at `first`.
+inline TpcMask tpc_range(unsigned first, unsigned count) {
+  SGDRC_REQUIRE(first + count <= 64, "TPC range out of bounds");
+  return count == 0 ? 0 : ((TpcMask{1} << count) - 1) << first;
+}
+
+}  // namespace sgdrc::gpusim

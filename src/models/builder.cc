@@ -1,0 +1,211 @@
+#include "models/builder.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+
+namespace sgdrc::models {
+
+namespace {
+constexpr uint64_t kElem = 4;  // fp32
+}
+
+ModelBuilder::ModelBuilder(std::string name, char letter,
+                           ServiceClass service, unsigned batch) {
+  m_.name = std::move(name);
+  m_.letter = letter;
+  m_.service = service;
+  m_.batch = batch;
+}
+
+unsigned ModelBuilder::grid_for(uint64_t out_elems) {
+  return static_cast<unsigned>(
+      std::max<uint64_t>(1, ceil_div(out_elems, 256 * 4)));
+}
+
+int ModelBuilder::add_tensor(std::string name, uint64_t bytes,
+                             TensorKind kind, int produced_by) {
+  TensorDesc t;
+  t.name = std::move(name);
+  t.bytes = bytes;
+  t.kind = kind;
+  t.produced_by = produced_by;
+  m_.tensors.push_back(std::move(t));
+  return static_cast<int>(m_.tensors.size()) - 1;
+}
+
+int ModelBuilder::add_kernel(gpusim::KernelDesc k,
+                             const std::vector<int>& reads, int writes) {
+  const int kidx = static_cast<int>(m_.kernels.size());
+  for (const int t : reads) {
+    SGDRC_REQUIRE(t >= 0 && static_cast<size_t>(t) < m_.tensors.size(),
+                  "kernel reads unknown tensor");
+    m_.tensors[t].consumed_by.push_back(kidx);
+  }
+  if (writes >= 0) m_.tensors[writes].produced_by = kidx;
+  k.preemptible = m_.service == ServiceClass::kBestEffort;
+  k.max_useful_tpcs = std::max(1.0, static_cast<double>(k.blocks) / 8.0);
+  m_.kernels.push_back(std::move(k));
+  return kidx;
+}
+
+int ModelBuilder::add_input(uint64_t bytes) {
+  return add_tensor("input", bytes * m_.batch, TensorKind::kInput, -1);
+}
+
+int ModelBuilder::conv(const std::string& name, int input, unsigned cin,
+                       unsigned cout, unsigned kernel, unsigned h,
+                       unsigned w, unsigned groups) {
+  SGDRC_REQUIRE(cin % groups == 0 && cout % groups == 0,
+                "channels must divide groups");
+  const uint64_t out_elems =
+      static_cast<uint64_t>(m_.batch) * cout * h * w;
+  const uint64_t weight_elems = static_cast<uint64_t>(cout) *
+                                (cin / groups) * kernel * kernel;
+  const uint64_t in_elems = static_cast<uint64_t>(m_.batch) * cin * h * w;
+  const int wt = add_tensor(name + ".w", weight_elems * kElem,
+                            TensorKind::kWeight, -1);
+  const int out = add_tensor(name + ".out", out_elems * kElem,
+                             TensorKind::kIntermediate, -1);
+  gpusim::KernelDesc k;
+  k.name = m_.name + "/" + name;
+  k.flops = 2 * out_elems * (cin / groups) * kernel * kernel;
+  k.bytes = (in_elems + weight_elems + out_elems) * kElem;
+  k.blocks = grid_for(out_elems);
+  k.threads_per_block = 256;
+  k.base_registers = 64;
+  // conv reads input and weight through distinct affine indices; output
+  // through a third — all single-use, so they fold (0 extra registers).
+  k.accesses = {{input, next_expr_++, false},
+                {wt, next_expr_++, false},
+                {out, next_expr_++, true}};
+  add_kernel(std::move(k), {input, wt}, out);
+  return out;
+}
+
+int ModelBuilder::matmul(const std::string& name, int input, unsigned m,
+                         unsigned k_dim, unsigned n) {
+  const uint64_t out_elems = static_cast<uint64_t>(m_.batch) * m * n;
+  const uint64_t weight_elems = static_cast<uint64_t>(k_dim) * n;
+  const uint64_t in_elems = static_cast<uint64_t>(m_.batch) * m * k_dim;
+  const int wt = add_tensor(name + ".w", weight_elems * kElem,
+                            TensorKind::kWeight, -1);
+  const int out = add_tensor(name + ".out", out_elems * kElem,
+                             TensorKind::kIntermediate, -1);
+  gpusim::KernelDesc k;
+  k.name = m_.name + "/" + name;
+  k.flops = 2ull * m_.batch * m * k_dim * n;
+  k.bytes = (in_elems + weight_elems + out_elems) * kElem;
+  k.blocks = grid_for(out_elems);
+  k.threads_per_block = 256;
+  k.base_registers = 96;
+  k.accesses = {{input, next_expr_++, false},
+                {wt, next_expr_++, false},
+                {out, next_expr_++, true}};
+  add_kernel(std::move(k), {input, wt}, out);
+  return out;
+}
+
+int ModelBuilder::elementwise(const std::string& name, int a, int b) {
+  const uint64_t bytes = std::max(m_.tensors[a].bytes, m_.tensors[b].bytes);
+  const int out =
+      add_tensor(name + ".out", bytes, TensorKind::kIntermediate, -1);
+  gpusim::KernelDesc k;
+  k.name = m_.name + "/" + name;
+  const uint64_t elems = bytes / kElem;
+  k.flops = elems;
+  k.bytes = 3 * bytes;  // stream two inputs + one output
+  k.blocks = grid_for(elems);
+  k.threads_per_block = 256;
+  k.base_registers = 24;
+  // A[i] + B[i] → C[i]: one SHARED index expression (Fig. 12c) — the
+  // transformer materialises one temp for it.
+  const int shared = next_expr_++;
+  k.accesses = {{a, shared, false}, {b, shared, false}, {out, shared, true}};
+  add_kernel(std::move(k), {a, b}, out);
+  return out;
+}
+
+int ModelBuilder::activation(const std::string& name, int input) {
+  const uint64_t bytes = m_.tensors[input].bytes;
+  const int out =
+      add_tensor(name + ".out", bytes, TensorKind::kIntermediate, -1);
+  gpusim::KernelDesc k;
+  k.name = m_.name + "/" + name;
+  const uint64_t elems = bytes / kElem;
+  k.flops = 4 * elems;  // a few ops per element (h-swish/gelu class)
+  k.bytes = 2 * bytes;
+  k.blocks = grid_for(elems);
+  k.threads_per_block = 256;
+  k.base_registers = 20;
+  const int shared = next_expr_++;  // in[i] → out[i]
+  k.accesses = {{input, shared, false}, {out, shared, true}};
+  add_kernel(std::move(k), {input}, out);
+  return out;
+}
+
+int ModelBuilder::pool(const std::string& name, int input, unsigned factor) {
+  const uint64_t in_bytes = m_.tensors[input].bytes;
+  const uint64_t out_bytes = std::max<uint64_t>(kElem, in_bytes / (factor * factor));
+  const int out =
+      add_tensor(name + ".out", out_bytes, TensorKind::kIntermediate, -1);
+  gpusim::KernelDesc k;
+  k.name = m_.name + "/" + name;
+  k.flops = in_bytes / kElem;
+  k.bytes = in_bytes + out_bytes;
+  k.blocks = grid_for(out_bytes / kElem);
+  k.threads_per_block = 256;
+  k.base_registers = 28;
+  k.accesses = {{input, next_expr_++, false}, {out, next_expr_++, true}};
+  add_kernel(std::move(k), {input}, out);
+  return out;
+}
+
+int ModelBuilder::shuffle(const std::string& name, std::vector<int> inputs) {
+  SGDRC_REQUIRE(!inputs.empty(), "shuffle needs inputs");
+  uint64_t bytes = 0;
+  for (const int t : inputs) bytes += m_.tensors[t].bytes;
+  const int out =
+      add_tensor(name + ".out", bytes, TensorKind::kIntermediate, -1);
+  gpusim::KernelDesc k;
+  k.name = m_.name + "/" + name;
+  k.flops = bytes / kElem;  // index math only
+  k.bytes = 2 * bytes;      // pure memory movement: read all + write all
+  k.blocks = grid_for(bytes / kElem);
+  k.threads_per_block = 256;
+  k.base_registers = 32;
+  for (const int t : inputs) k.accesses.push_back({t, next_expr_++, false});
+  k.accesses.push_back({out, next_expr_++, true});
+  add_kernel(std::move(k), inputs, out);
+  return out;
+}
+
+int ModelBuilder::tiny_op(const std::string& name, int input,
+                          uint64_t bytes) {
+  const int out =
+      add_tensor(name + ".out", bytes, TensorKind::kIntermediate, -1);
+  gpusim::KernelDesc k;
+  k.name = m_.name + "/" + name;
+  k.flops = bytes;  // negligible
+  k.bytes = m_.tensors[input].bytes / 64 + 2 * bytes;
+  k.blocks = 1;
+  k.threads_per_block = 128;
+  k.base_registers = 16;
+  k.accesses = {{input, next_expr_++, false}, {out, next_expr_++, true}};
+  add_kernel(std::move(k), {input}, out);
+  return out;
+}
+
+ModelDesc ModelBuilder::build() {
+  SGDRC_REQUIRE(!m_.kernels.empty(), "model has no kernels");
+  // The last produced tensor is the model output.
+  for (auto it = m_.tensors.rbegin(); it != m_.tensors.rend(); ++it) {
+    if (it->kind == TensorKind::kIntermediate && it->produced_by >= 0) {
+      it->kind = TensorKind::kOutput;
+      break;
+    }
+  }
+  return std::move(m_);
+}
+
+}  // namespace sgdrc::models

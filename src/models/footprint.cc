@@ -1,0 +1,48 @@
+#include "models/footprint.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sgdrc::models {
+
+Footprint analyze_footprint(const ModelDesc& m) {
+  Footprint fp;
+  const int n_kernels = static_cast<int>(m.kernels.size());
+
+  // Per-kernel-step delta of live intermediate bytes.
+  std::vector<int64_t> delta(n_kernels + 1, 0);
+
+  for (const auto& t : m.tensors) {
+    switch (t.kind) {
+      case TensorKind::kWeight:
+        fp.weight_bytes += t.bytes;
+        if (t.memory_bound) fp.mb_weight_bytes += t.bytes;
+        break;
+      case TensorKind::kIntermediate:
+      case TensorKind::kOutput: {
+        fp.inter_sum_bytes += t.bytes;
+        if (t.memory_bound) fp.mb_inter_sum_bytes += t.bytes;
+        // Live from production until the last consumer (or production if
+        // never consumed — e.g. the final output).
+        const int born = std::max(t.produced_by, 0);
+        int last = born;
+        for (const int k : t.consumed_by) last = std::max(last, k);
+        delta[born] += static_cast<int64_t>(t.bytes);
+        delta[last + 1] -= static_cast<int64_t>(t.bytes);
+        break;
+      }
+      case TensorKind::kInput:
+        break;  // model inputs live outside the arena
+    }
+  }
+
+  int64_t live = 0;
+  for (int k = 0; k <= n_kernels; ++k) {
+    live += delta[k];
+    fp.inter_peak_bytes = std::max(fp.inter_peak_bytes,
+                                   static_cast<uint64_t>(std::max<int64_t>(live, 0)));
+  }
+  return fp;
+}
+
+}  // namespace sgdrc::models

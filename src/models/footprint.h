@@ -1,0 +1,43 @@
+// VRAM footprint analysis for bimodal tensors (§7.2 / Fig. 16).
+//
+// Bimodal tensors keep TWO copies of every memory-bound tensor — one
+// mapped to all VRAM channels, one to the task's restricted channel set —
+// so bandwidth allocation can switch by passing a different pointer.
+// Without countermeasures this nearly doubles a model's footprint; SGDRC
+// recovers most of it by fully reusing intermediate-result buffers, whose
+// requirement is the *peak live* set rather than the sum.
+#pragma once
+
+#include <cstdint>
+
+#include "models/model.h"
+
+namespace sgdrc::models {
+
+struct Footprint {
+  uint64_t weight_bytes = 0;        // all weights, single copy
+  uint64_t mb_weight_bytes = 0;     // memory-bound weights (duplicated)
+  uint64_t inter_sum_bytes = 0;     // Σ intermediate tensors
+  uint64_t mb_inter_sum_bytes = 0;  // memory-bound intermediates
+  uint64_t inter_peak_bytes = 0;    // peak live intermediates (reuse)
+
+  /// Footprint with plain (single-copy) tensors.
+  uint64_t original(bool reuse_intermediates) const {
+    return weight_bytes +
+           (reuse_intermediates ? inter_peak_bytes : inter_sum_bytes);
+  }
+  /// Footprint with bimodal tensors: memory-bound tensors are duplicated;
+  /// with reuse, both copies of the intermediate pool track the peak.
+  uint64_t bimodal(bool reuse_intermediates) const {
+    const uint64_t inter =
+        reuse_intermediates ? 2 * inter_peak_bytes
+                            : inter_sum_bytes + mb_inter_sum_bytes;
+    return weight_bytes + mb_weight_bytes + inter;
+  }
+};
+
+/// Live-range analysis over the kernel sequence. Reads each tensor's
+/// memory_bound flag (set by the offline profiler, or by hand in tests).
+Footprint analyze_footprint(const ModelDesc& m);
+
+}  // namespace sgdrc::models

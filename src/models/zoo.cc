@@ -1,0 +1,354 @@
+#include "models/zoo.h"
+
+#include "common/error.h"
+#include "models/builder.h"
+
+namespace sgdrc::models {
+
+namespace {
+
+constexpr uint64_t kImage224 = 224ull * 224 * 3 * 4;
+
+/// Inverted-residual (MBConv) block shared by MobileNet/EfficientNet.
+/// Returns the block's output tensor.
+int mbconv(ModelBuilder& b, const std::string& tag, int x, unsigned cin,
+           unsigned cexp, unsigned cout, unsigned k, unsigned h, unsigned w,
+           bool stride2, bool se) {
+  const int in = x;
+  if (cexp != cin) {
+    x = b.conv(tag + ".expand", x, cin, cexp, 1, h, w);
+    x = b.activation(tag + ".act0", x);
+  }
+  const unsigned oh = stride2 ? h / 2 : h;
+  const unsigned ow = stride2 ? w / 2 : w;
+  x = b.conv(tag + ".dw", x, cexp, cexp, k, oh, ow, /*groups=*/cexp);
+  x = b.activation(tag + ".act1", x);
+  if (se) {
+    const int s = b.tiny_op(tag + ".se", x, cexp * 4);
+    x = b.elementwise(tag + ".scale", x, s);
+  }
+  x = b.conv(tag + ".project", x, cexp, cout, 1, oh, ow);
+  if (!stride2 && cin == cout) {
+    x = b.elementwise(tag + ".residual", x, in);
+  }
+  return x;
+}
+
+/// Transformer encoder layer (hidden d, FFN f, sequence s).
+int encoder_layer(ModelBuilder& b, const std::string& tag, int x,
+                  unsigned s, unsigned d, unsigned f) {
+  const int in = x;
+  int q = b.matmul(tag + ".qkv", x, s, d, 3 * d);
+  q = b.matmul(tag + ".attn", q, s, d, s);  // scores + weighted sum proxy
+  q = b.matmul(tag + ".proj", q, s, d, d);
+  int y = b.elementwise(tag + ".add0", q, in);
+  const int mid = b.matmul(tag + ".ffn0", y, s, d, f);
+  int z = b.activation(tag + ".gelu", mid);
+  z = b.matmul(tag + ".ffn1", z, s, f, d);
+  return b.elementwise(tag + ".add1", z, y);
+}
+
+}  // namespace
+
+ModelDesc mobilenet_v3() {
+  ModelBuilder b("MobileNetV3", 'A', ServiceClass::kLatencySensitive, 1);
+  int x = b.add_input(kImage224);
+  x = b.conv("stem", x, 3, 16, 3, 112, 112);
+  x = b.activation("stem.act", x);
+  struct Cfg { unsigned cin, cexp, cout, k, h; bool s2, se; };
+  // MobileNetV3-Large block table (input spatial size before the block).
+  const Cfg cfg[] = {
+      {16, 16, 16, 3, 112, false, false}, {16, 64, 24, 3, 112, true, false},
+      {24, 72, 24, 3, 56, false, false},  {24, 72, 40, 5, 56, true, true},
+      {40, 120, 40, 5, 28, false, true},  {40, 120, 40, 5, 28, false, true},
+      {40, 240, 80, 3, 28, true, false},  {80, 200, 80, 3, 14, false, false},
+      {80, 184, 80, 3, 14, false, false}, {80, 184, 80, 3, 14, false, false},
+      {80, 480, 112, 3, 14, false, true}, {112, 672, 112, 3, 14, false, true},
+      {112, 672, 160, 5, 14, true, true}, {160, 960, 160, 5, 7, false, true},
+      {160, 960, 160, 5, 7, false, true},
+  };
+  int i = 0;
+  for (const auto& c : cfg) {
+    x = mbconv(b, "b" + std::to_string(i++), x, c.cin, c.cexp, c.cout, c.k,
+               c.h, c.h, c.s2, c.se);
+  }
+  x = b.conv("head", x, 160, 960, 1, 7, 7);
+  x = b.pool("gap", x, 7);
+  x = b.matmul("fc", x, 1, 960, 1000);
+  return b.build();
+}
+
+ModelDesc squeezenet() {
+  ModelBuilder b("SqueezeNet", 'B', ServiceClass::kLatencySensitive, 1);
+  int x = b.add_input(kImage224);
+  x = b.conv("stem", x, 3, 96, 7, 111, 111);
+  x = b.pool("pool0", x, 2);
+  struct Fire { unsigned cin, sq, ex, h; };
+  const Fire fires[] = {{96, 16, 64, 55},  {128, 16, 64, 55},
+                        {128, 32, 128, 55}, {256, 32, 128, 27},
+                        {256, 48, 192, 27}, {384, 48, 192, 27},
+                        {384, 64, 256, 27}, {512, 64, 256, 13}};
+  int i = 0;
+  for (const auto& f : fires) {
+    const std::string tag = "fire" + std::to_string(i++);
+    const int s = b.conv(tag + ".squeeze", x, f.cin, f.sq, 1, f.h, f.h);
+    const int e1 = b.conv(tag + ".e1", s, f.sq, f.ex, 1, f.h, f.h);
+    const int e3 = b.conv(tag + ".e3", s, f.sq, f.ex, 3, f.h, f.h);
+    x = b.shuffle(tag + ".concat", {e1, e3});
+    if (i == 3 || i == 7) x = b.pool(tag + ".pool", x, 2);
+  }
+  x = b.conv("conv10", x, 512, 1000, 1, 13, 13);
+  x = b.pool("gap", x, 13);
+  return b.build();
+}
+
+ModelDesc shufflenet() {
+  ModelBuilder b("ShuffleNet", 'C', ServiceClass::kLatencySensitive, 1);
+  int x = b.add_input(kImage224);
+  x = b.conv("stem", x, 3, 24, 3, 112, 112);
+  x = b.pool("pool0", x, 2);
+  struct Stage { unsigned cin, cout, repeat, h; };
+  const Stage stages[] = {{24, 116, 4, 28}, {116, 232, 8, 14},
+                          {232, 464, 4, 7}};
+  int si = 0;
+  for (const auto& s : stages) {
+    for (unsigned r = 0; r < s.repeat; ++r) {
+      const std::string tag =
+          "s" + std::to_string(si) + ".b" + std::to_string(r);
+      const unsigned c = r == 0 ? s.cin : s.cout;
+      const unsigned half = s.cout / 2;
+      int y = b.conv(tag + ".pw0", x, c, half, 1, s.h, s.h);
+      y = b.conv(tag + ".dw", y, half, half, 3, s.h, s.h, half);
+      y = b.conv(tag + ".pw1", y, half, half, 1, s.h, s.h);
+      x = b.shuffle(tag + ".shuffle", {y, x});
+    }
+    ++si;
+  }
+  x = b.conv("head", x, 464, 1024, 1, 7, 7);
+  x = b.pool("gap", x, 7);
+  x = b.matmul("fc", x, 1, 1024, 1000);
+  return b.build();
+}
+
+ModelDesc efficientnet() {
+  ModelBuilder b("EfficientNet", 'D', ServiceClass::kLatencySensitive, 1);
+  int x = b.add_input(kImage224);
+  x = b.conv("stem", x, 3, 32, 3, 112, 112);
+  x = b.activation("stem.act", x);
+  struct Cfg { unsigned cin, cout, k, h, repeat, expand; bool s2; };
+  // EfficientNet-B0 stages.
+  const Cfg cfg[] = {{32, 16, 3, 112, 1, 1, false},
+                     {16, 24, 3, 112, 2, 6, true},
+                     {24, 40, 5, 56, 2, 6, true},
+                     {40, 80, 3, 28, 3, 6, true},
+                     {80, 112, 5, 14, 3, 6, false},
+                     {112, 192, 5, 14, 4, 6, true},
+                     {192, 320, 3, 7, 1, 6, false}};
+  int i = 0;
+  for (const auto& c : cfg) {
+    for (unsigned r = 0; r < c.repeat; ++r) {
+      const unsigned cin = r == 0 ? c.cin : c.cout;
+      const bool s2 = c.s2 && r == 0;
+      const unsigned h = s2 || r > 0 ? (c.s2 ? c.h / 2 : c.h) : c.h;
+      x = mbconv(b, "mb" + std::to_string(i++), x, cin, cin * c.expand,
+                 c.cout, c.k, s2 ? c.h : h, s2 ? c.h : h, s2, true);
+    }
+  }
+  x = b.conv("head", x, 320, 1280, 1, 7, 7);
+  x = b.pool("gap", x, 7);
+  x = b.matmul("fc", x, 1, 1280, 1000);
+  return b.build();
+}
+
+ModelDesc resnet34() {
+  ModelBuilder b("ResNet34", 'E', ServiceClass::kLatencySensitive, 1);
+  int x = b.add_input(kImage224);
+  x = b.conv("stem", x, 3, 64, 7, 112, 112);
+  x = b.pool("pool0", x, 2);
+  struct Stage { unsigned ch, blocks, h; };
+  const Stage stages[] = {{64, 3, 56}, {128, 4, 28}, {256, 6, 14},
+                          {512, 3, 7}};
+  unsigned cin = 64;
+  int si = 0;
+  for (const auto& s : stages) {
+    for (unsigned r = 0; r < s.blocks; ++r) {
+      const std::string tag =
+          "s" + std::to_string(si) + ".b" + std::to_string(r);
+      const int in = x;
+      x = b.conv(tag + ".conv0", x, r == 0 ? cin : s.ch, s.ch, 3, s.h, s.h);
+      x = b.activation(tag + ".act0", x);
+      x = b.conv(tag + ".conv1", x, s.ch, s.ch, 3, s.h, s.h);
+      if (r > 0) x = b.elementwise(tag + ".add", x, in);
+      x = b.activation(tag + ".act1", x);
+    }
+    cin = s.ch;
+    ++si;
+  }
+  x = b.pool("gap", x, 7);
+  x = b.matmul("fc", x, 1, 512, 1000);
+  return b.build();
+}
+
+ModelDesc mobilebert() {
+  ModelBuilder b("MobileBert", 'F', ServiceClass::kLatencySensitive, 1);
+  int x = b.add_input(128ull * 128 * 4);  // seq 128, bottleneck 128
+  for (int l = 0; l < 24; ++l) {
+    x = encoder_layer(b, "l" + std::to_string(l), x, 128, 128, 512);
+  }
+  x = b.matmul("pooler", x, 1, 128, 128);
+  return b.build();
+}
+
+ModelDesc mobilevit() {
+  ModelBuilder b("MobileViT", 'G', ServiceClass::kLatencySensitive, 1);
+  int x = b.add_input(kImage224);
+  x = b.conv("stem", x, 3, 16, 3, 112, 112);
+  x = mbconv(b, "mv0", x, 16, 64, 32, 3, 112, 112, true, false);
+  x = mbconv(b, "mv1", x, 32, 128, 64, 3, 56, 56, true, false);
+  for (int l = 0; l < 2; ++l) {
+    x = encoder_layer(b, "t0." + std::to_string(l), x, 784, 144, 288);
+  }
+  x = mbconv(b, "mv2", x, 64, 256, 96, 3, 28, 28, true, false);
+  for (int l = 0; l < 4; ++l) {
+    x = encoder_layer(b, "t1." + std::to_string(l), x, 196, 192, 384);
+  }
+  x = mbconv(b, "mv3", x, 96, 384, 128, 3, 14, 14, true, false);
+  for (int l = 0; l < 3; ++l) {
+    x = encoder_layer(b, "t2." + std::to_string(l), x, 49, 240, 480);
+  }
+  x = b.conv("head", x, 128, 640, 1, 7, 7);
+  x = b.pool("gap", x, 7);
+  x = b.matmul("fc", x, 1, 640, 1000);
+  return b.build();
+}
+
+ModelDesc efficientformer() {
+  ModelBuilder b("EfficientFormer", 'H', ServiceClass::kLatencySensitive, 1);
+  int x = b.add_input(kImage224);
+  x = b.conv("stem0", x, 3, 24, 3, 112, 112);
+  x = b.conv("stem1", x, 24, 48, 3, 56, 56);
+  struct Stage { unsigned ch, blocks, h; };
+  const Stage stages[] = {{48, 3, 56}, {96, 2, 28}, {224, 6, 14}};
+  unsigned cin = 48;
+  int si = 0;
+  for (const auto& s : stages) {
+    if (si > 0) x = b.conv("down" + std::to_string(si), x, cin, s.ch, 3,
+                           s.h, s.h);
+    for (unsigned r = 0; r < s.blocks; ++r) {
+      const std::string tag =
+          "s" + std::to_string(si) + ".b" + std::to_string(r);
+      const int in = x;
+      x = b.pool(tag + ".mix", x, 1);  // token mixing (pooling former)
+      x = b.elementwise(tag + ".add0", x, in);
+      x = b.conv(tag + ".mlp0", x, s.ch, s.ch * 4, 1, s.h, s.h);
+      x = b.activation(tag + ".act", x);
+      x = b.conv(tag + ".mlp1", x, s.ch * 4, s.ch, 1, s.h, s.h);
+      x = b.elementwise(tag + ".add1", x, in);
+    }
+    cin = s.ch;
+    ++si;
+  }
+  for (int l = 0; l < 4; ++l) {
+    x = encoder_layer(b, "attn." + std::to_string(l), x, 49, 448, 896);
+  }
+  x = b.pool("gap", x, 7);
+  x = b.matmul("fc", x, 1, 448, 1000);
+  return b.build();
+}
+
+ModelDesc resnet152() {
+  ModelBuilder b("ResNet152", 'I', ServiceClass::kBestEffort, 16);
+  int x = b.add_input(kImage224);
+  x = b.conv("stem", x, 3, 64, 7, 112, 112);
+  x = b.pool("pool0", x, 2);
+  struct Stage { unsigned ch, blocks, h; };
+  const Stage stages[] = {{64, 3, 56}, {128, 8, 28}, {256, 36, 14},
+                          {512, 3, 7}};
+  unsigned cin = 64;
+  int si = 0;
+  for (const auto& s : stages) {
+    for (unsigned r = 0; r < s.blocks; ++r) {
+      const std::string tag =
+          "s" + std::to_string(si) + ".b" + std::to_string(r);
+      const int in = x;
+      x = b.conv(tag + ".c0", x, r == 0 ? cin * (si ? 4 : 1) : s.ch * 4,
+                 s.ch, 1, s.h, s.h);
+      x = b.conv(tag + ".c1", x, s.ch, s.ch, 3, s.h, s.h);
+      x = b.conv(tag + ".c2", x, s.ch, s.ch * 4, 1, s.h, s.h);
+      if (r > 0) x = b.elementwise(tag + ".add", x, in);
+      x = b.activation(tag + ".act", x);
+    }
+    cin = s.ch;
+    ++si;
+  }
+  x = b.pool("gap", x, 7);
+  x = b.matmul("fc", x, 1, 2048, 1000);
+  return b.build();
+}
+
+ModelDesc densenet161() {
+  ModelBuilder b("DenseNet161", 'J', ServiceClass::kBestEffort, 8);
+  int x = b.add_input(kImage224);
+  x = b.conv("stem", x, 3, 96, 7, 112, 112);
+  x = b.pool("pool0", x, 2);
+  const unsigned growth = 48;
+  const unsigned layers[] = {6, 12, 36, 24};
+  unsigned ch = 96, h = 56;
+  for (int stage = 0; stage < 4; ++stage) {
+    for (unsigned l = 0; l < layers[stage]; ++l) {
+      const std::string tag =
+          "d" + std::to_string(stage) + ".l" + std::to_string(l);
+      // Bottleneck: 1×1 to 4×growth, 3×3 to growth, dense concat — the
+      // concats are what make DenseNet memory-hungry.
+      int y = b.conv(tag + ".c0", x, ch, 4 * growth, 1, h, h);
+      y = b.conv(tag + ".c1", y, 4 * growth, growth, 3, h, h);
+      x = b.shuffle(tag + ".concat", {x, y});
+      ch += growth;
+    }
+    if (stage < 3) {
+      x = b.conv("t" + std::to_string(stage), x, ch, ch / 2, 1, h, h);
+      x = b.pool("tp" + std::to_string(stage), x, 2);
+      ch /= 2;
+      h /= 2;
+    }
+  }
+  x = b.pool("gap", x, 7);
+  x = b.matmul("fc", x, 1, 2208, 1000);
+  return b.build();
+}
+
+ModelDesc bert() {
+  ModelBuilder b("Bert", 'K', ServiceClass::kBestEffort, 16);
+  int x = b.add_input(128ull * 768 * 4);  // seq 128, hidden 768
+  for (int l = 0; l < 12; ++l) {
+    x = encoder_layer(b, "l" + std::to_string(l), x, 128, 768, 3072);
+  }
+  x = b.matmul("pooler", x, 1, 768, 768);
+  return b.build();
+}
+
+std::vector<ModelDesc> standard_zoo() {
+  return {mobilenet_v3(), squeezenet(),     shufflenet(), efficientnet(),
+          resnet34(),     mobilebert(),     mobilevit(),  efficientformer(),
+          resnet152(),    densenet161(),    bert()};
+}
+
+ModelDesc make_model(char letter) {
+  switch (letter) {
+    case 'A': return mobilenet_v3();
+    case 'B': return squeezenet();
+    case 'C': return shufflenet();
+    case 'D': return efficientnet();
+    case 'E': return resnet34();
+    case 'F': return mobilebert();
+    case 'G': return mobilevit();
+    case 'H': return efficientformer();
+    case 'I': return resnet152();
+    case 'J': return densenet161();
+    case 'K': return bert();
+    default:
+      throw ConfigError("unknown Tab. 3 model id: " + std::string(1, letter));
+  }
+}
+
+}  // namespace sgdrc::models

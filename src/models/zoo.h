@@ -1,0 +1,37 @@
+// The Tab. 3 model zoo:
+//   LS: MobileNetV3 (A), SqueezeNet (B), ShuffleNet (C), EfficientNet (D),
+//       ResNet34 (E), MobileBert (F), MobileViT (G), EfficientFormer (H)
+//   BE: ResNet152 (I), DenseNet161 (J), Bert (K)
+//
+// Each model is synthesised from its published architecture (block
+// structure, channel widths, spatial sizes), so FLOP totals, DRAM traffic,
+// kernel counts and the compute/memory-bound kernel mix land where the
+// real networks do. BE batch sizes follow §9.2: the smallest batch that
+// reaches maximum throughput (16 / 8 / 16).
+#pragma once
+
+#include <vector>
+
+#include "models/model.h"
+
+namespace sgdrc::models {
+
+ModelDesc mobilenet_v3();     // A
+ModelDesc squeezenet();       // B
+ModelDesc shufflenet();       // C
+ModelDesc efficientnet();     // D
+ModelDesc resnet34();         // E
+ModelDesc mobilebert();       // F
+ModelDesc mobilevit();        // G
+ModelDesc efficientformer();  // H
+ModelDesc resnet152();        // I (BE)
+ModelDesc densenet161();      // J (BE)
+ModelDesc bert();             // K (BE)
+
+/// All 11 models, A through K.
+std::vector<ModelDesc> standard_zoo();
+
+/// Lookup by Tab. 3 letter; throws on unknown ids.
+ModelDesc make_model(char letter);
+
+}  // namespace sgdrc::models

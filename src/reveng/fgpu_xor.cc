@@ -1,0 +1,120 @@
+#include "reveng/fgpu_xor.h"
+
+#include <algorithm>
+
+#include "common/bitops.h"
+#include "common/error.h"
+
+namespace sgdrc::reveng {
+
+namespace {
+
+constexpr unsigned kBits = 25;  // unknown mask bits (hash window)
+constexpr unsigned kConst = kBits;
+constexpr unsigned kUnknowns = kBits + 1;  // + affine constant
+
+uint64_t hash_window(gpusim::PhysAddr pa) {
+  return extract_bits(pa, gpusim::kPartitionBits, gpusim::kHashInputHighBit);
+}
+
+}  // namespace
+
+FgpuSolveResult fgpu_solve(
+    const std::vector<std::pair<gpusim::PhysAddr, unsigned>>& samples,
+    unsigned num_channels) {
+  FgpuSolveResult res;
+  if (!is_pow2(num_channels)) {
+    res.failure =
+        "channel count is not a power of two — a pure XOR fold cannot "
+        "produce it (Tab. 1's non-power-of-two parts)";
+    return res;
+  }
+  SGDRC_REQUIRE(samples.size() >= kUnknowns,
+                "too few samples for the equation system");
+  const unsigned out_bits = ceil_log2(num_channels);
+
+  res.masks.assign(out_bits, 0);
+  res.constants.assign(out_bits, 0);
+
+  for (unsigned bit = 0; bit < out_bits; ++bit) {
+    // Row encoding: bits 0..24 = coefficients, bit 25 = affine term,
+    // bit 26 = RHS. Gaussian elimination over GF(2).
+    std::vector<uint64_t> rows;
+    rows.reserve(samples.size());
+    for (const auto& [pa, ch] : samples) {
+      uint64_t row = hash_window(pa);
+      row |= uint64_t{1} << kConst;  // affine coefficient is always 1
+      row |= static_cast<uint64_t>((ch >> bit) & 1) << (kConst + 1);
+      rows.push_back(row);
+    }
+
+    std::vector<uint64_t> basis;  // reduced rows, one pivot each
+    std::vector<int> pivot_of;    // pivot column of basis[i]
+    for (uint64_t row : rows) {
+      for (size_t b = 0; b < basis.size(); ++b) {
+        if ((row >> pivot_of[b]) & 1) row ^= basis[b];
+      }
+      if ((row & ((uint64_t{1} << kUnknowns) - 1)) == 0) {
+        if (row != 0) {
+          // 0 = 1: the system is inconsistent. Exactly the failure mode
+          // the paper describes for noisy or non-linear mappings.
+          res.failure =
+              "inconsistent XOR equation system (non-linear mapping or "
+              "noise-polluted samples)";
+          return res;
+        }
+        continue;  // redundant equation
+      }
+      int pivot = 0;
+      for (unsigned c = 0; c < kUnknowns; ++c) {
+        if ((row >> c) & 1) {
+          pivot = static_cast<int>(c);
+          break;
+        }
+      }
+      // Keep the basis fully reduced.
+      for (size_t b = 0; b < basis.size(); ++b) {
+        if ((basis[b] >> pivot) & 1) basis[b] ^= row;
+      }
+      basis.push_back(row);
+      pivot_of.push_back(pivot);
+    }
+
+    // Back-substitute: free variables default to 0.
+    uint64_t solution = 0;
+    for (size_t b = 0; b < basis.size(); ++b) {
+      const uint64_t rhs = (basis[b] >> (kConst + 1)) & 1;
+      if (rhs) solution |= uint64_t{1} << pivot_of[b];
+    }
+    res.masks[bit] = solution & ((uint64_t{1} << kBits) - 1);
+    res.constants[bit] = static_cast<int>((solution >> kConst) & 1);
+  }
+
+  res.success = true;
+  return res;
+}
+
+unsigned fgpu_predict(const FgpuSolveResult& model, gpusim::PhysAddr pa) {
+  SGDRC_REQUIRE(model.success, "predicting with a failed model");
+  const uint64_t x = hash_window(pa);
+  unsigned ch = 0;
+  for (size_t b = 0; b < model.masks.size(); ++b) {
+    const unsigned v =
+        masked_parity(x, model.masks[b]) ^ static_cast<unsigned>(model.constants[b]);
+    ch |= v << b;
+  }
+  return ch;
+}
+
+double fgpu_accuracy(
+    const FgpuSolveResult& model,
+    const std::vector<std::pair<gpusim::PhysAddr, unsigned>>& samples) {
+  if (!model.success || samples.empty()) return 0.0;
+  size_t ok = 0;
+  for (const auto& [pa, ch] : samples) {
+    ok += fgpu_predict(model, pa) == ch;
+  }
+  return static_cast<double>(ok) / static_cast<double>(samples.size());
+}
+
+}  // namespace sgdrc::reveng

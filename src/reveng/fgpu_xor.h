@@ -1,0 +1,42 @@
+// FGPU's reverse-engineering approach (§3.2 / Fig. 11 left): assume the
+// channel hash is a pure XOR of address bits and solve for the masks with
+// a GF(2) equation system. This is the baseline the paper shows to be
+//
+//   (a) inapplicable when the channel count is not a power of two,
+//   (b) wrong on non-linear hashes (the system turns inconsistent), and
+//   (c) fragile under cache noise — "even one false positive sample can
+//       pollute the equation system".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gpusim/address.h"
+
+namespace sgdrc::reveng {
+
+struct FgpuSolveResult {
+  bool success = false;
+  std::string failure;  // human-readable reason when !success
+  /// One 25-bit mask per channel-index bit (over hash-input bits 10..34).
+  std::vector<uint64_t> masks;
+  /// Affine constants per channel-index bit.
+  std::vector<int> constants;
+};
+
+/// Solve masks from (physical address, observed channel) samples.
+FgpuSolveResult fgpu_solve(
+    const std::vector<std::pair<gpusim::PhysAddr, unsigned>>& samples,
+    unsigned num_channels);
+
+/// Predict a channel with a recovered linear model.
+unsigned fgpu_predict(const FgpuSolveResult& model, gpusim::PhysAddr pa);
+
+/// Accuracy of a recovered model against labelled samples.
+double fgpu_accuracy(
+    const FgpuSolveResult& model,
+    const std::vector<std::pair<gpusim::PhysAddr, unsigned>>& samples);
+
+}  // namespace sgdrc::reveng

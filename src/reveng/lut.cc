@@ -1,0 +1,84 @@
+#include "reveng/lut.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace sgdrc::reveng {
+
+ChannelLut ChannelLut::from_mlp(const Mlp& model, gpusim::PhysAddr start_pa,
+                                gpusim::PhysAddr end_pa,
+                                unsigned num_channels) {
+  ChannelLut lut(start_pa, end_pa, num_channels);
+  std::vector<float> feat(Mlp::kAddressFeatures);
+  for (uint64_t p = lut.start_; p < lut.end_; ++p) {
+    const gpusim::PhysAddr pa = p << gpusim::kPartitionBits;
+    Mlp::encode_pa(pa, feat.data());
+    lut.labels_[p - lut.start_] =
+        static_cast<int16_t>(model.predict(feat.data()));
+  }
+  return lut;
+}
+
+ChannelLut ChannelLut::from_function(
+    const std::function<int(gpusim::PhysAddr)>& label,
+    gpusim::PhysAddr start_pa, gpusim::PhysAddr end_pa,
+    unsigned num_channels) {
+  ChannelLut lut(start_pa, end_pa, num_channels);
+  for (uint64_t p = lut.start_; p < lut.end_; ++p) {
+    const gpusim::PhysAddr pa = p << gpusim::kPartitionBits;
+    lut.labels_[p - lut.start_] = static_cast<int16_t>(label(pa));
+  }
+  return lut;
+}
+
+std::vector<int> align_labels(const std::vector<int>& discovered,
+                              const std::vector<int>& reference,
+                              unsigned num_channels) {
+  SGDRC_REQUIRE(discovered.size() == reference.size(),
+                "label vectors must have equal length");
+  std::vector<std::vector<uint64_t>> confusion(
+      num_channels, std::vector<uint64_t>(num_channels, 0));
+  for (size_t i = 0; i < discovered.size(); ++i) {
+    const int d = discovered[i];
+    const int r = reference[i];
+    if (d < 0 || r < 0) continue;
+    SGDRC_REQUIRE(static_cast<unsigned>(d) < num_channels &&
+                      static_cast<unsigned>(r) < num_channels,
+                  "label out of range");
+    ++confusion[d][r];
+  }
+  std::vector<int> map(num_channels, -1);
+  for (unsigned d = 0; d < num_channels; ++d) {
+    const auto& row = confusion[d];
+    map[d] = static_cast<int>(
+        std::max_element(row.begin(), row.end()) - row.begin());
+  }
+  return map;
+}
+
+double lut_oracle_accuracy(const ChannelLut& lut,
+                           const gpusim::AddressMapping& oracle,
+                           size_t samples, uint64_t seed) {
+  Rng rng(seed);
+  const uint64_t parts = lut.partitions();
+  std::vector<int> d, r;
+  d.reserve(samples);
+  r.reserve(samples);
+  for (size_t i = 0; i < samples; ++i) {
+    const gpusim::PhysAddr pa =
+        lut.start_pa() + rng.uniform_u64(parts) * gpusim::kPartitionBytes;
+    d.push_back(lut.channel_of(pa));
+    r.push_back(static_cast<int>(oracle.channel_of(pa)));
+  }
+  const auto map = align_labels(d, r, lut.num_channels());
+  size_t ok = 0, counted = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    ++counted;
+    if (d[i] >= 0 && map[d[i]] == r[i]) ++ok;
+  }
+  return counted ? static_cast<double>(ok) / static_cast<double>(counted)
+                 : 0.0;
+}
+
+}  // namespace sgdrc::reveng

@@ -1,0 +1,92 @@
+// The channel lookup table (§5.3): one label per 1 KiB channel partition
+// over a physical range, generated offline by batch DNN inference (or by
+// direct marking for small windows, or from the oracle in tests).
+//
+// Labels live in *discovered* channel-id space; align_labels() computes
+// the confusion-majority correspondence with another labelling (e.g. the
+// silicon oracle) so benches can report real accuracy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/error.h"
+#include "gpusim/address.h"
+#include "gpusim/hash_mapping.h"
+#include "reveng/mlp.h"
+
+namespace sgdrc::reveng {
+
+class ChannelLut {
+ public:
+  ChannelLut(gpusim::PhysAddr start_pa, gpusim::PhysAddr end_pa,
+             unsigned num_channels)
+      : start_(gpusim::partition_of(start_pa)),
+        end_(gpusim::partition_of(end_pa + gpusim::kPartitionBytes - 1)),
+        num_channels_(num_channels),
+        labels_(end_ - start_, kUnknown) {
+    SGDRC_REQUIRE(end_ > start_, "empty LUT range");
+  }
+
+  /// Build by batch inference from a trained model.
+  static ChannelLut from_mlp(const Mlp& model, gpusim::PhysAddr start_pa,
+                             gpusim::PhysAddr end_pa, unsigned num_channels);
+
+  /// Build from any labelling function (direct marking, oracle in tests).
+  static ChannelLut from_function(
+      const std::function<int(gpusim::PhysAddr)>& label,
+      gpusim::PhysAddr start_pa, gpusim::PhysAddr end_pa,
+      unsigned num_channels);
+
+  unsigned num_channels() const { return num_channels_; }
+  gpusim::PhysAddr start_pa() const {
+    return start_ << gpusim::kPartitionBits;
+  }
+  gpusim::PhysAddr end_pa() const { return end_ << gpusim::kPartitionBits; }
+
+  bool contains(gpusim::PhysAddr pa) const {
+    const uint64_t p = gpusim::partition_of(pa);
+    return p >= start_ && p < end_;
+  }
+
+  void set(gpusim::PhysAddr pa, int channel) {
+    SGDRC_REQUIRE(contains(pa), "address outside LUT range");
+    SGDRC_REQUIRE(channel == kUnknown ||
+                      (channel >= 0 &&
+                       static_cast<unsigned>(channel) < num_channels_),
+                  "channel id out of range");
+    labels_[gpusim::partition_of(pa) - start_] =
+        static_cast<int16_t>(channel);
+  }
+
+  /// Label of the 1 KiB partition holding `pa`; kUnknown when unlabeled.
+  int channel_of(gpusim::PhysAddr pa) const {
+    SGDRC_REQUIRE(contains(pa), "address outside LUT range");
+    return labels_[gpusim::partition_of(pa) - start_];
+  }
+
+  uint64_t partitions() const { return labels_.size(); }
+
+  static constexpr int kUnknown = -1;
+
+ private:
+  uint64_t start_, end_;  // partition indices [start, end)
+  unsigned num_channels_;
+  std::vector<int16_t> labels_;
+};
+
+/// Best discovered→reference correspondence by confusion-matrix majority.
+/// Returns map[discovered] = reference label.
+std::vector<int> align_labels(const std::vector<int>& discovered,
+                              const std::vector<int>& reference,
+                              unsigned num_channels);
+
+/// Fraction of sampled partitions where the LUT (after optimal alignment
+/// against the silicon oracle) predicts the true channel. Bench scoring
+/// only — this is the one place reverse-engineered results meet the oracle.
+double lut_oracle_accuracy(const ChannelLut& lut,
+                           const gpusim::AddressMapping& oracle,
+                           size_t samples, uint64_t seed);
+
+}  // namespace sgdrc::reveng

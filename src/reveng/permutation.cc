@@ -1,0 +1,136 @@
+#include "reveng/permutation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace sgdrc::reveng {
+
+namespace {
+
+// Union-find over channel ids.
+struct Dsu {
+  std::vector<unsigned> parent;
+  explicit Dsu(unsigned n) : parent(n) {
+    for (unsigned i = 0; i < n; ++i) parent[i] = i;
+  }
+  unsigned find(unsigned x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(unsigned a, unsigned b) { parent[find(a)] = find(b); }
+};
+
+std::string pattern_key(const std::vector<int>& window) {
+  std::string key;
+  for (size_t i = 0; i < window.size(); ++i) {
+    if (i) key += ',';
+    key += static_cast<char>('A' + window[i]);
+  }
+  return key;
+}
+
+}  // namespace
+
+CensusResult analyze_channel_labels(const std::vector<int>& labels,
+                                    unsigned num_channels) {
+  SGDRC_REQUIRE(num_channels >= 2, "need at least two channels");
+  SGDRC_REQUIRE(labels.size() >= 64, "label window too small to analyse");
+
+  for (unsigned s : {4u, 2u}) {
+    if (num_channels % s != 0) continue;
+
+    // Co-occurrence of channel pairs inside aligned windows of size s.
+    std::vector<std::vector<uint64_t>> co(
+        num_channels, std::vector<uint64_t>(num_channels, 0));
+    uint64_t valid_windows = 0, total_windows = 0;
+    for (size_t w = 0; w + s <= labels.size(); w += s) {
+      ++total_windows;
+      std::set<int> chans(labels.begin() + w, labels.begin() + w + s);
+      if (chans.size() != s || chans.count(-1)) continue;
+      ++valid_windows;
+      for (int a : chans) {
+        for (int b : chans) {
+          if (a != b) ++co[a][b];
+        }
+      }
+    }
+    // A true region size keeps (almost) every aligned window on a single
+    // group: require a 3/4 supermajority so coincidental adjacency (e.g.
+    // paired channels seen through a quad window) is rejected.
+    if (valid_windows * 4 < total_windows * 3) continue;
+
+    // Channels whose co-occurrence is a large fraction of the strongest
+    // signal belong to the same group; noise contributes only stray counts.
+    uint64_t max_co = 0;
+    for (const auto& row : co) {
+      for (uint64_t v : row) max_co = std::max(max_co, v);
+    }
+    if (max_co == 0) continue;
+    Dsu dsu(num_channels);
+    for (unsigned a = 0; a < num_channels; ++a) {
+      for (unsigned b = a + 1; b < num_channels; ++b) {
+        if (co[a][b] * 2 > max_co) dsu.unite(a, b);
+      }
+    }
+    std::map<unsigned, std::vector<unsigned>> comps;
+    for (unsigned c = 0; c < num_channels; ++c) {
+      comps[dsu.find(c)].push_back(c);
+    }
+    bool consistent = comps.size() == num_channels / s;
+    for (const auto& [root, members] : comps) {
+      consistent = consistent && members.size() == s;
+    }
+    if (!consistent) continue;
+
+    CensusResult res;
+    res.region_size = s;
+    for (auto& [root, members] : comps) {
+      std::sort(members.begin(), members.end());
+      res.groups.push_back(members);
+    }
+    std::sort(res.groups.begin(), res.groups.end());
+
+    // Pattern census for the group containing the lowest channel id.
+    const std::set<int> target(res.groups.front().begin(),
+                               res.groups.front().end());
+    uint64_t bad = 0;
+    for (size_t w = 0; w + s <= labels.size(); w += s) {
+      std::vector<int> window(labels.begin() + w, labels.begin() + w + s);
+      const std::set<int> chans(window.begin(), window.end());
+      if (chans.size() != s || chans.count(-1)) {
+        ++bad;
+        continue;
+      }
+      if (chans == target) ++res.pattern_counts[pattern_key(window)];
+    }
+    res.inconsistent_fraction =
+        total_windows
+            ? static_cast<double>(bad) / static_cast<double>(total_windows)
+            : 0.0;
+
+    uint64_t total = 0;
+    for (const auto& [k, v] : res.pattern_counts) total += v;
+    if (total > 0 && !res.pattern_counts.empty()) {
+      const double expected = static_cast<double>(total) /
+                              static_cast<double>(res.pattern_counts.size());
+      double worst = 0.0;
+      for (const auto& [k, v] : res.pattern_counts) {
+        worst = std::max(
+            worst, std::abs(static_cast<double>(v) - expected) / expected);
+      }
+      res.pattern_uniform_deviation = worst;
+    }
+    return res;
+  }
+
+  CensusResult flat;
+  flat.region_size = 1;
+  return flat;
+}
+
+}  // namespace sgdrc::reveng

@@ -1,0 +1,39 @@
+// Structure discovery over marked channel labels (§5.2, Fig. 8/9/19 and
+// Tab. 4): given one label per consecutive 1 KiB partition, recover
+//
+//   * the channel-group structure (which channels co-occupy regions),
+//   * the region size = max # contiguous channels (Tab. 4 column 3),
+//   * the permutation-pattern census and its uniformity (Fig. 9).
+//
+// The analysis tolerates a few percent of mislabeled partitions (noise).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sgdrc::reveng {
+
+struct CensusResult {
+  /// Discovered region size in partitions (= max contiguous channels =
+  /// max coloring granularity in KiB). 1 when no grouping was found.
+  unsigned region_size = 1;
+  /// Channel ids per discovered group (each of size region_size).
+  std::vector<std::vector<unsigned>> groups;
+  /// Pattern census for group 0 (the paper plots channels A&B / A..D):
+  /// pattern string (e.g. "A,B") → occurrences.
+  std::map<std::string, uint64_t> pattern_counts;
+  /// Max relative deviation of pattern frequencies from uniform.
+  double pattern_uniform_deviation = 1.0;
+  /// Fraction of aligned windows whose labels were inconsistent with the
+  /// discovered grouping (noise estimate).
+  double inconsistent_fraction = 0.0;
+};
+
+/// Analyse `labels` (one per consecutive partition; -1 = unknown) assuming
+/// `num_channels` channels. Tries region sizes 4 then 2.
+CensusResult analyze_channel_labels(const std::vector<int>& labels,
+                                    unsigned num_channels);
+
+}  // namespace sgdrc::reveng

@@ -1,0 +1,75 @@
+// End-to-end §5 pipeline: calibrate timing thresholds → discover channels
+// and fill sets → collect labelled samples (with majority denoising) →
+// train the DNN → emit lookup tables.
+//
+// On real hardware this campaign took the authors a month per GPU; the
+// simulator serves probes immediately, but the sample budget (15 K) and
+// every algorithmic step match the paper.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gpusim/device.h"
+#include "reveng/conflict.h"
+#include "reveng/lut.h"
+#include "reveng/marker.h"
+#include "reveng/mlp.h"
+
+namespace sgdrc::reveng {
+
+struct PipelineOptions {
+  size_t samples = 15000;        // paper's §5.3 sample budget
+  unsigned label_repeats = 3;    // majority votes per sample
+  double arena_fraction = 0.9;
+  std::vector<size_t> hidden = {128, 64};
+  Mlp::TrainOptions train;
+  double holdout_fraction = 0.1;
+  uint64_t seed = 0x5a1e;
+};
+
+struct PipelineReport {
+  CalibrationResult calibration;
+  unsigned channels = 0;
+  size_t samples_collected = 0;   // labelled (majority reached)
+  size_t samples_unlabeled = 0;   // majority failed (noise)
+  double single_trial_noise = 0;  // single-probe disagreement vs majority
+  double holdout_accuracy = 0;    // DNN vs marker labels, unseen addresses
+  uint64_t probes = 0;
+};
+
+class HashCracker {
+ public:
+  HashCracker(gpusim::GpuDevice& dev, PipelineOptions opt = {});
+  ~HashCracker();
+
+  /// Run the full campaign. Idempotent: reruns retrain from scratch.
+  PipelineReport run();
+
+  const Mlp& model() const;
+
+  /// Batch-infer a lookup table over [start_pa, end_pa).
+  ChannelLut build_lut(gpusim::PhysAddr start_pa,
+                       gpusim::PhysAddr end_pa) const;
+
+  /// The labelled samples — discovered-id space — e.g. for feeding the
+  /// FGPU baseline solver.
+  const std::vector<std::pair<gpusim::PhysAddr, unsigned>>& samples() const {
+    return samples_;
+  }
+
+  ChannelMarker& marker();
+
+ private:
+  gpusim::GpuDevice& dev_;
+  PipelineOptions opt_;
+  std::unique_ptr<ProbeArena> arena_;
+  std::unique_ptr<ConflictProber> prober_;
+  std::unique_ptr<ChannelMarker> marker_;
+  std::unique_ptr<Mlp> model_;
+  std::vector<std::pair<gpusim::PhysAddr, unsigned>> samples_;
+};
+
+}  // namespace sgdrc::reveng

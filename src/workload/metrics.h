@@ -1,0 +1,92 @@
+// Serving metrics (§9.2): per-LS-service latency distributions, SLO
+// attainment (SLO = n × p99 isolated runtime, n = co-running services),
+// LS goodput (requests finishing within SLO per second), BE throughput
+// (samples/s), and the combined "overall throughput" of Fig. 17c.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/sim_time.h"
+#include "common/stats.h"
+
+namespace sgdrc::workload {
+
+struct LsServiceMetrics {
+  std::string name;
+  char letter = '?';
+  TimeNs isolated_p99 = 0;  // profiled isolated runtime
+  TimeNs slo = 0;           // n × isolated_p99 (§9.2)
+  Samples latency;          // end-to-end incl. queueing (ns)
+  uint64_t arrived = 0;
+  uint64_t served = 0;
+  uint64_t attained = 0;  // served within SLO
+
+  double attainment() const {
+    return served ? static_cast<double>(attained) /
+                        static_cast<double>(served)
+                  : 1.0;
+  }
+  double p99_ms() const {
+    return latency.empty() ? 0.0 : to_ms(static_cast<TimeNs>(latency.p99()));
+  }
+};
+
+struct BeTaskMetrics {
+  std::string name;
+  char letter = '?';
+  unsigned batch = 1;
+  uint64_t batches_completed = 0;
+  uint64_t kernels_done = 0;       // kernel-granularity progress
+  uint64_t kernels_per_batch = 1;
+  uint64_t evictions = 0;
+
+  /// Samples processed, at kernel granularity (a batch in flight counts
+  /// proportionally — throughput over finite windows stays meaningful for
+  /// long BE batches).
+  double samples() const {
+    return static_cast<double>(batch) * static_cast<double>(kernels_done) /
+           static_cast<double>(kernels_per_batch);
+  }
+};
+
+struct ServingMetrics {
+  std::vector<LsServiceMetrics> ls;
+  std::vector<BeTaskMetrics> be;
+  TimeNs duration = 0;
+  TimeNs ls_busy_ns = 0;  // wall time with ≥1 LS kernel in flight
+  TimeNs be_busy_ns = 0;  // wall time with a BE kernel in flight
+
+  void record_ls(unsigned service, TimeNs arrival, TimeNs completion) {
+    SGDRC_REQUIRE(service < ls.size(), "unknown LS service");
+    auto& m = ls[service];
+    const TimeNs lat = completion - arrival;
+    m.latency.add(static_cast<double>(lat));
+    ++m.served;
+    if (lat <= m.slo) ++m.attained;
+  }
+
+  double ls_goodput() const {  // attained requests / s
+    uint64_t ok = 0;
+    for (const auto& m : ls) ok += m.attained;
+    return static_cast<double>(ok) / to_sec(duration);
+  }
+  double be_throughput() const {  // samples / s
+    double n = 0;
+    for (const auto& m : be) n += m.samples();
+    return n / to_sec(duration);
+  }
+  double overall_throughput() const {
+    return ls_goodput() + be_throughput();
+  }
+  double mean_attainment() const {
+    if (ls.empty()) return 1.0;
+    double s = 0.0;
+    for (const auto& m : ls) s += m.attainment();
+    return s / static_cast<double>(ls.size());
+  }
+};
+
+}  // namespace sgdrc::workload

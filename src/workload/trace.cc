@@ -1,0 +1,62 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace sgdrc::workload {
+
+std::vector<Request> generate_apollo_like_trace(const TraceOptions& opt) {
+  SGDRC_REQUIRE(opt.services > 0, "trace needs at least one service");
+  SGDRC_REQUIRE(opt.scale > 0.0 && opt.rate_per_service > 0.0,
+                "rates must be positive");
+  Rng rng(opt.seed);
+  std::vector<Request> out;
+
+  for (unsigned s = 0; s < opt.services; ++s) {
+    const double base_rate = s < opt.per_service_rates.size()
+                                 ? opt.per_service_rates[s]
+                                 : opt.rate_per_service;
+    SGDRC_REQUIRE(base_rate > 0.0, "per-service rate must be positive");
+    const double rate = base_rate * opt.scale;  // req/s
+    const double per_frame = rate * to_sec(opt.frame_interval);
+    Rng srng = rng.fork();
+    // Phase offset: services are not frame-synchronised with each other.
+    const TimeNs phase = srng.uniform_u64(opt.frame_interval);
+
+    // Burst component: Poisson count at each frame tick, arrivals packed
+    // shortly after the tick (sensor → inference fan-out).
+    for (TimeNs frame = phase; frame < opt.duration;
+         frame += opt.frame_interval) {
+      const double mean_burst = per_frame * opt.burstiness;
+      // Poisson via exponential gaps.
+      double t = 0.0;
+      for (;;) {
+        t += srng.exponential(mean_burst);
+        if (t >= 1.0) break;
+        const TimeNs jitter =
+            from_ms(srng.exponential(1.0));  // ~1ms fan-out tail
+        const TimeNs at = frame + jitter;
+        if (at < opt.duration) out.push_back({at, s});
+      }
+    }
+
+    // Background component: plain Poisson across the whole window.
+    const double bg_rate = rate * (1.0 - opt.burstiness);  // req/s
+    double t = to_sec(phase);
+    for (;;) {
+      t += srng.exponential(bg_rate);
+      const TimeNs at = from_sec(t);
+      if (at >= opt.duration) break;
+      out.push_back({at, s});
+    }
+  }
+
+  std::sort(out.begin(), out.end(),
+            [](const Request& a, const Request& b) {
+              return a.arrival < b.arrival;
+            });
+  return out;
+}
+
+}  // namespace sgdrc::workload

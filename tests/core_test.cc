@@ -1,0 +1,237 @@
+// Tests for the SGDRC core: offline profiler, serving engine mechanics,
+// the SGDRC policy (tidal masking + bimodal channels), and qualitative
+// end-to-end comparisons against the baselines on a small configuration.
+#include <gtest/gtest.h>
+
+#include "baselines/baseline_policies.h"
+#include "core/harness.h"
+#include "core/profiler.h"
+#include "core/serving.h"
+#include "core/sgdrc_policy.h"
+#include "models/zoo.h"
+
+namespace sgdrc::core {
+namespace {
+
+using gpusim::GpuSpec;
+
+GpuSpec small_spec() { return gpusim::test_gpu(); }
+
+// ----------------------------------------------------------- Profiler ----
+
+TEST(Profiler, MinTpcsWithinRange) {
+  OfflineProfiler prof(small_spec());
+  auto m = models::mobilenet_v3();
+  prof.profile(m);
+  for (const auto& k : m.kernels) {
+    EXPECT_GE(k.min_tpcs, 1u) << k.name;
+    EXPECT_LE(k.min_tpcs, small_spec().num_tpcs) << k.name;
+  }
+}
+
+TEST(Profiler, MemoryBoundClassification) {
+  OfflineProfiler prof(small_spec());
+  // A pure-compute kernel must not be memory-bound; a streaming kernel is.
+  gpusim::KernelDesc comp;
+  comp.name = "gemm";
+  comp.flops = 4'000'000'000ull;
+  comp.bytes = 1024;
+  comp.blocks = 1u << 16;
+  comp.max_useful_tpcs = 64;
+  EXPECT_FALSE(prof.is_memory_bound(comp));
+
+  gpusim::KernelDesc mem;
+  mem.name = "copy";
+  mem.flops = 1000;
+  mem.bytes = 400'000'000ull;
+  mem.blocks = 1u << 16;
+  mem.max_useful_tpcs = 64;
+  EXPECT_TRUE(prof.is_memory_bound(mem));
+}
+
+TEST(Profiler, TensorsInheritMemoryBoundness) {
+  OfflineProfiler prof(small_spec());
+  auto m = models::densenet161();
+  prof.profile(m);
+  bool any_mb_kernel = false, any_mb_tensor = false;
+  for (const auto& k : m.kernels) any_mb_kernel |= k.memory_bound;
+  for (const auto& t : m.tensors) any_mb_tensor |= t.memory_bound;
+  EXPECT_TRUE(any_mb_kernel);
+  EXPECT_TRUE(any_mb_tensor);
+  // Every access of a memory-bound kernel touches a memory-bound tensor.
+  for (const auto& k : m.kernels) {
+    if (!k.memory_bound) continue;
+    for (const auto& a : k.accesses) {
+      EXPECT_TRUE(m.tensors[a.tensor].memory_bound);
+    }
+  }
+}
+
+TEST(Profiler, MinTpcsSmallForMemoryBoundKernels) {
+  OfflineProfiler prof(small_spec());
+  gpusim::KernelDesc mem;
+  mem.name = "stream";
+  mem.flops = 50'000'000ull;     // light compute
+  mem.bytes = 200'000'000ull;    // heavy traffic
+  mem.blocks = 1u << 16;
+  mem.max_useful_tpcs = 64;
+  const unsigned n = prof.min_tpcs_for(mem);
+  EXPECT_LT(n, small_spec().num_tpcs);  // saturates before the full GPU
+}
+
+// --------------------------------------------------- Channel partition ----
+
+TEST(SgdrcPolicy, BeChannelPartitionRespectsGroups) {
+  const GpuSpec a2000 = gpusim::rtx_a2000();  // 6 channels, pairs
+  const auto be = be_channel_partition(a2000, 1.0 / 3.0);
+  EXPECT_EQ(gpusim::channel_count(be), 2u);  // one pair
+  const GpuSpec p40 = gpusim::tesla_p40();   // 12 channels, quads
+  const auto be40 = be_channel_partition(p40, 1.0 / 3.0);
+  EXPECT_EQ(gpusim::channel_count(be40), 4u);  // one quad
+  // LS and BE partitions are disjoint and cover all channels.
+  EXPECT_EQ(be & ~gpusim::all_channels(6), 0u);
+}
+
+// -------------------------------------------------- Serving mechanics ----
+
+class ServingTest : public ::testing::Test {
+ protected:
+  HarnessOptions small_options(double util, double scale) {
+    HarnessOptions o;
+    o.spec = small_spec();
+    o.ls_letters = "AB";
+    o.be_letters = "I";
+    o.utilization = util;
+    o.load_scale = scale;
+    o.duration = 300 * kNsPerMs;
+    o.seed = 99;
+    return o;
+  }
+};
+
+TEST_F(ServingTest, TemporalServesEverythingEventually) {
+  ServingHarness h(small_options(0.3, 1.0));
+  baselines::TemporalPolicy policy;
+  const auto m = h.run(policy, false);
+  ASSERT_EQ(m.ls.size(), 2u);
+  for (const auto& s : m.ls) {
+    EXPECT_GT(s.served, 0u) << s.name;
+    EXPECT_GE(s.attainment(), 0.9) << s.name;  // temporal protects LS
+  }
+}
+
+TEST_F(ServingTest, MultiStreamKeepsBeAlwaysResident) {
+  // Spatial multiplexing co-executes BE continuously (Fig. 1b) — the BE
+  // task is in flight essentially the whole run.
+  ServingHarness h(small_options(0.3, 1.0));
+  baselines::MultiStreamPolicy multi;
+  const auto mm = h.run(multi, false);
+  EXPECT_GT(static_cast<double>(mm.be_busy_ns) /
+                static_cast<double>(mm.duration),
+            0.9);
+}
+
+TEST_F(ServingTest, TemporalStarvesBeUnderLoad) {
+  // Fig. 4a: as LS load rises, temporal multiplexing's BE throughput
+  // collapses while LS attainment stays high.
+  ServingHarness light(small_options(0.15, 1.0));
+  ServingHarness heavy(small_options(0.6, 1.0));
+  baselines::TemporalPolicy p1, p2;
+  const auto ml = light.run(p1, false);
+  const auto mh = heavy.run(p2, false);
+  EXPECT_LT(mh.be_throughput(), ml.be_throughput());
+  EXPECT_GT(mh.mean_attainment(), 0.85);
+}
+
+TEST_F(ServingTest, SgdrcMeetsSloAndBeatsStaticBe) {
+  ServingHarness h(small_options(0.35, 1.0));
+  SgdrcPolicy sgdrc(h.options().spec);
+  SgdrcStaticPolicy static_(h.options().spec);
+  const auto ms = h.run(sgdrc, true);
+  const auto mst = h.run(static_, true);
+  EXPECT_GE(ms.mean_attainment(), 0.90);
+  EXPECT_GT(ms.be_throughput(), mst.be_throughput());
+  EXPECT_GT(ms.mean_attainment(), mst.mean_attainment());
+}
+
+TEST_F(ServingTest, SgdrcBeatsMultiStreamOnAttainment) {
+  ServingHarness h(small_options(0.45, 1.0));
+  SgdrcPolicy sgdrc(h.options().spec);
+  baselines::MultiStreamPolicy multi;
+  const auto ms = h.run(sgdrc, true);
+  const auto mm = h.run(multi, false);
+  EXPECT_GT(ms.mean_attainment(), mm.mean_attainment());
+}
+
+TEST_F(ServingTest, SgdrcEvictsBeUnderLoad) {
+  ServingHarness h(small_options(0.45, 1.0));
+  SgdrcPolicy sgdrc(h.options().spec);
+  const auto m = h.run(sgdrc, true);
+  uint64_t evictions = 0;
+  for (const auto& b : m.be) evictions += b.evictions;
+  EXPECT_GT(evictions, 0u);  // the tide came in at least once
+}
+
+TEST_F(ServingTest, DynamicSgdrcBeatsStaticOnBeThroughputAtLightLoad) {
+  // §9.3: "Compared with SGDRC (Static), SGDRC achieves higher BE job
+  // throughput, which is more evident in the light workload scenario" —
+  // the dynamic policy lets BE monopolise the GPU between bursts.
+  ServingHarness h(small_options(0.35, 0.5));
+  SgdrcPolicy dynamic(h.options().spec);
+  SgdrcStaticPolicy static_(h.options().spec);
+  const auto md = h.run(dynamic, true);
+  const auto ms = h.run(static_, true);
+  EXPECT_GT(md.be_throughput(), ms.be_throughput());
+}
+
+TEST_F(ServingTest, OrionConstraintCountersPopulate) {
+  ServingHarness h(small_options(0.45, 1.0));
+  baselines::OrionPolicy orion;
+  const auto m = h.run(orion, false);
+  EXPECT_GT(orion.admitted(), 0u);
+  EXPECT_GT(orion.rejected_sm() + orion.rejected_runtime() +
+                orion.rejected_resource(),
+            0u);
+  EXPECT_GT(m.be_throughput(), 0.0);
+}
+
+TEST_F(ServingTest, OrionBeThroughputDeclinesWithLsLoad) {
+  // Fig. 5a's shape: BE throughput collapses as LS load rises. (On this
+  // 4-TPC toy GPU the SLO is very tight, so no attainment floor here —
+  // the P40/A2000 bench covers the attainment side.)
+  ServingHarness light(small_options(0.15, 1.0));
+  ServingHarness heavy(small_options(0.6, 1.0));
+  baselines::OrionPolicy p1, p2;
+  const auto ml = light.run(p1, false);
+  const auto mh = heavy.run(p2, false);
+  EXPECT_LT(mh.be_throughput(), ml.be_throughput() / 2);
+}
+
+TEST_F(ServingTest, MetricsAccounting) {
+  ServingHarness h(small_options(0.3, 1.0));
+  baselines::MultiStreamPolicy policy;
+  const auto m = h.run(policy, false);
+  for (const auto& s : m.ls) {
+    EXPECT_LE(s.attained, s.served);
+    EXPECT_LE(s.served, s.arrived);
+    EXPECT_GT(s.slo, s.isolated_p99);
+  }
+  EXPECT_GT(m.overall_throughput(), 0.0);
+  EXPECT_EQ(m.duration, 300 * kNsPerMs);
+}
+
+TEST_F(ServingTest, TgsPaysContextSwitches) {
+  ServingHarness h(small_options(0.35, 1.0));
+  baselines::TgsPolicy tgs;
+  baselines::TemporalPolicy temporal;
+  const auto mt = h.run(tgs, false);
+  const auto mtemp = h.run(temporal, false);
+  // TGS's dwell + switch cost inflate LS latency beyond plain temporal.
+  double tgs_p99 = 0, temp_p99 = 0;
+  for (const auto& s : mt.ls) tgs_p99 += s.p99_ms();
+  for (const auto& s : mtemp.ls) temp_p99 += s.p99_ms();
+  EXPECT_GT(tgs_p99, temp_p99);
+}
+
+}  // namespace
+}  // namespace sgdrc::core

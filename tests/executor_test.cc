@@ -1,0 +1,302 @@
+// Tests for the kernel-level discrete-event executor: roofline math,
+// processor sharing, interference terms, isolation, and Reef-style
+// eviction/restart semantics.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/event_queue.h"
+#include "gpusim/executor.h"
+#include "gpusim/gpu_spec.h"
+
+namespace sgdrc::gpusim {
+namespace {
+
+// test_gpu: 4 TPCs, 2 TFLOPS (500 flops/ns/TPC), 100 GB/s (25 B/ns/chan),
+// 4 channels.
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : exec_(test_gpu(), q_) {}
+
+  KernelDesc compute_kernel(double ms, double useful_tpcs = 1e9) {
+    KernelDesc k;
+    k.name = "comp";
+    k.flops = static_cast<uint64_t>(ms * 1e6 * 2000);  // full GPU: ms
+    k.bytes = 0;
+    k.blocks = 1u << 16;  // huge grid: occupancy does not cap parallelism
+    k.max_useful_tpcs = useful_tpcs;
+    return k;
+  }
+
+  KernelDesc memory_kernel(double ms) {
+    KernelDesc k;
+    k.name = "mem";
+    k.flops = 1000;  // negligible
+    k.bytes = static_cast<uint64_t>(ms * 1e6 * 100);  // full BW: ms
+    k.blocks = 1u << 16;
+    k.max_useful_tpcs = 1e9;
+    return k;
+  }
+
+  TimeNs run_to_completion(const KernelLaunch& l) {
+    TimeNs done = 0;
+    exec_.launch(l, [&](GpuExecutor::LaunchId, TimeNs t) { done = t; });
+    q_.run_all();
+    return done;
+  }
+
+  EventQueue q_;
+  GpuExecutor exec_;
+};
+
+TEST_F(ExecutorTest, SoloComputeKernelMatchesClosedForm) {
+  const KernelDesc k = compute_kernel(1.0);
+  const TimeNs start = q_.now();
+  const TimeNs done = run_to_completion({&k});
+  EXPECT_EQ(done - start, exec_.solo_runtime(k, 4, 4, false));
+  EXPECT_NEAR(to_ms(done - start), 1.0, 0.01);
+}
+
+TEST_F(ExecutorTest, SoloMemoryKernelMatchesClosedForm) {
+  const KernelDesc k = memory_kernel(2.0);
+  const TimeNs done = run_to_completion({&k});
+  EXPECT_EQ(done, exec_.solo_runtime(k, 4, 4, false));
+  EXPECT_NEAR(to_ms(done), 2.0, 0.01);
+}
+
+TEST_F(ExecutorTest, ComputeScalesWithTpcsUntilCap) {
+  const KernelDesc k = compute_kernel(1.0, /*useful_tpcs=*/2.0);
+  const TimeNs t1 = exec_.solo_runtime(k, 1, 4, false);
+  const TimeNs t2 = exec_.solo_runtime(k, 2, 4, false);
+  const TimeNs t4 = exec_.solo_runtime(k, 4, 4, false);
+  EXPECT_GT(t1, t2);
+  EXPECT_EQ(t2, t4);  // saturated at min_tpcs = 2 (§7.1's SM_LS)
+}
+
+TEST_F(ExecutorTest, MemoryScalesWithChannels) {
+  const KernelDesc k = memory_kernel(1.0);
+  const TimeNs t4 = exec_.solo_runtime(k, 4, 4, false);
+  const TimeNs t2 = exec_.solo_runtime(k, 4, 2, false);
+  const TimeNs t1 = exec_.solo_runtime(k, 4, 1, false);
+  EXPECT_GT(t2, t4);
+  EXPECT_GT(t1, t2);
+  // Halving channels at least halves bandwidth, plus the L2-shrink term.
+  EXPECT_GT(t2, static_cast<TimeNs>(static_cast<double>(t4) * 1.9));
+}
+
+TEST_F(ExecutorTest, SptOverheadApplied) {
+  KernelDesc k = memory_kernel(1.0);
+  const TimeNs plain = exec_.solo_runtime(k, 4, 4, false);
+  const TimeNs spt = exec_.solo_runtime(k, 4, 4, true);
+  const double overhead = static_cast<double>(spt - plain) /
+                          static_cast<double>(plain);
+  EXPECT_NEAR(overhead, 0.029, 0.005);  // §9.1.2
+}
+
+TEST_F(ExecutorTest, FullOverlapComputeSharing) {
+  // Two identical compute kernels sharing everything: each runs at
+  // 1/(2(1+γ)) speed → 2.5× solo with γ=0.25.
+  const KernelDesc k = compute_kernel(1.0);
+  const TimeNs solo = exec_.solo_runtime(k, 4, 4, false);
+  std::vector<TimeNs> done;
+  for (int i = 0; i < 2; ++i) {
+    exec_.launch({&k}, [&](GpuExecutor::LaunchId, TimeNs t) {
+      done.push_back(t);
+    });
+  }
+  q_.run_all();
+  ASSERT_EQ(done.size(), 2u);
+  const double gamma = exec_.params().intra_sm_gamma;
+  const double expected = static_cast<double>(solo) * 2.0 * (1.0 + gamma);
+  EXPECT_NEAR(static_cast<double>(done.back()), expected, expected * 0.02);
+}
+
+TEST_F(ExecutorTest, FullOverlapMemorySharing) {
+  const KernelDesc k = memory_kernel(1.0);
+  const TimeNs solo = exec_.solo_runtime(k, 4, 4, false);
+  std::vector<TimeNs> done;
+  for (int i = 0; i < 2; ++i) {
+    exec_.launch({&k}, [&](GpuExecutor::LaunchId, TimeNs t) {
+      done.push_back(t);
+    });
+  }
+  q_.run_all();
+  const double beta = exec_.params().inter_channel_beta;
+  const double expected = static_cast<double>(solo) * 2.0 * (1.0 + beta);
+  EXPECT_NEAR(static_cast<double>(done.back()), expected, expected * 0.02);
+}
+
+TEST_F(ExecutorTest, DisjointPartitionsGivePerfectIsolation) {
+  // The core SGDRC property: disjoint TPC masks + disjoint channel sets
+  // ⇒ co-running kernels behave exactly as if alone on their partitions.
+  KernelDesc a = memory_kernel(1.0);
+  a.max_useful_tpcs = 2.0;
+  KernelDesc b = a;
+  const TimeNs solo = exec_.solo_runtime(a, 2, 2, false);
+
+  std::vector<TimeNs> done;
+  exec_.launch({&a, tpc_range(0, 2), 0b0011},
+               [&](GpuExecutor::LaunchId, TimeNs t) { done.push_back(t); });
+  exec_.launch({&b, tpc_range(2, 2), 0b1100},
+               [&](GpuExecutor::LaunchId, TimeNs t) { done.push_back(t); });
+  q_.run_all();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(done[0]), static_cast<double>(solo), 2.0);
+  EXPECT_NEAR(static_cast<double>(done[1]), static_cast<double>(solo), 2.0);
+}
+
+TEST_F(ExecutorTest, ChannelOverlapHurtsOnlyMemoryBound) {
+  // Disjoint TPCs, overlapping channels: Fig. 3b's inter-SM conflict.
+  KernelDesc victim_mem = memory_kernel(1.0);
+  victim_mem.max_useful_tpcs = 2.0;
+  KernelDesc victim_comp = compute_kernel(1.0, 2.0);
+  KernelDesc aggressor = memory_kernel(4.0);
+  aggressor.max_useful_tpcs = 2.0;
+
+  auto co_run = [&](const KernelDesc& victim) {
+    EventQueue q;
+    GpuExecutor exec(test_gpu(), q);
+    TimeNs victim_done = 0;
+    exec.launch({&aggressor, tpc_range(2, 2), 0},
+                [](GpuExecutor::LaunchId, TimeNs) {});
+    exec.launch({&victim, tpc_range(0, 2), 0},
+                [&](GpuExecutor::LaunchId, TimeNs t) { victim_done = t; });
+    q.run_all();
+    return victim_done;
+  };
+
+  const TimeNs mem_solo = exec_.solo_runtime(victim_mem, 2, 4, false);
+  const TimeNs comp_solo = exec_.solo_runtime(victim_comp, 2, 4, false);
+  EXPECT_GT(co_run(victim_mem),
+            static_cast<TimeNs>(static_cast<double>(mem_solo) * 1.5));
+  EXPECT_LT(co_run(victim_comp),
+            static_cast<TimeNs>(static_cast<double>(comp_solo) * 1.05));
+}
+
+TEST_F(ExecutorTest, InterferenceGrowsWithAggressorCount) {
+  // Fig. 3's shape: victim latency increases monotonically with the
+  // number of co-located interference tasks.
+  KernelDesc victim = memory_kernel(0.5);
+  victim.max_useful_tpcs = 1.0;
+  KernelDesc aggressor = memory_kernel(10.0);
+  aggressor.max_useful_tpcs = 1.0;
+
+  TimeNs prev = 0;
+  for (unsigned n = 0; n <= 3; ++n) {
+    EventQueue q;
+    GpuExecutor exec(test_gpu(), q);
+    for (unsigned i = 0; i < n; ++i) {
+      exec.launch({&aggressor, tpc_bit(1 + i), 0},
+                  [](GpuExecutor::LaunchId, TimeNs) {});
+    }
+    TimeNs done = 0;
+    exec.launch({&victim, tpc_bit(0), 0},
+                [&](GpuExecutor::LaunchId, TimeNs t) { done = t; });
+    q.run_all();
+    EXPECT_GT(done, prev) << "aggressors=" << n;
+    prev = done;
+  }
+}
+
+TEST_F(ExecutorTest, RateChangeMidFlight) {
+  // A runs alone for S/2, then B joins on the same resources; A's
+  // completion reflects the slower second half.
+  const KernelDesc k = compute_kernel(1.0);
+  const double S = static_cast<double>(exec_.solo_runtime(k, 4, 4, false));
+  TimeNs a_done = 0;
+  exec_.launch({&k}, [&](GpuExecutor::LaunchId, TimeNs t) { a_done = t; });
+  q_.schedule_at(static_cast<TimeNs>(S / 2), [&] {
+    exec_.launch({&k}, [](GpuExecutor::LaunchId, TimeNs) {});
+  });
+  q_.run_all();
+  const double slowdown = 2.0 * (1.0 + exec_.params().intra_sm_gamma);
+  const double expected = S / 2 + (S / 2) * slowdown;
+  EXPECT_NEAR(static_cast<double>(a_done), expected, expected * 0.02);
+}
+
+TEST_F(ExecutorTest, EvictionKillsAndLosesProgress) {
+  KernelDesc be = compute_kernel(1.0);
+  be.preemptible = true;
+  bool completed = false, evicted = false;
+  TimeNs evict_time = 0;
+  const auto id = exec_.launch(
+      {&be}, [&](GpuExecutor::LaunchId, TimeNs) { completed = true; });
+  q_.schedule_at(from_ms(0.5), [&] {
+    exec_.evict(id, [&](GpuExecutor::LaunchId, TimeNs t) {
+      evicted = true;
+      evict_time = t;
+    });
+  });
+  q_.run_all();
+  EXPECT_TRUE(evicted);
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(evict_time, from_ms(0.5) + exec_.params().evict_latency);
+  EXPECT_EQ(exec_.evictions(), 1u);
+  EXPECT_EQ(exec_.running_count(), 0u);
+
+  // Restart: full runtime again (progress was lost — §7.1).
+  TimeNs done = 0;
+  exec_.launch({&be}, [&](GpuExecutor::LaunchId, TimeNs t) { done = t; });
+  q_.run_all();
+  EXPECT_EQ(done - evict_time, exec_.solo_runtime(be, 4, 4, false));
+}
+
+TEST_F(ExecutorTest, EvictingNonPreemptibleThrows) {
+  const KernelDesc ls = compute_kernel(1.0);  // no eviction-flag poll
+  const auto id = exec_.launch({&ls}, nullptr);
+  EXPECT_THROW(exec_.evict(id, nullptr), ConfigError);
+}
+
+TEST_F(ExecutorTest, EvictCompletionRaceFavoursCompletion) {
+  KernelDesc be = compute_kernel(0.01);
+  be.preemptible = true;
+  bool completed = false, evicted = false;
+  const auto id = exec_.launch(
+      {&be}, [&](GpuExecutor::LaunchId, TimeNs) { completed = true; });
+  // Evict 1ns before natural completion: the kernel finishes during the
+  // flag-check latency, so the eviction callback must not fire.
+  const TimeNs t_done = exec_.solo_runtime(be, 4, 4, false);
+  q_.schedule_at(t_done - 1, [&] {
+    exec_.evict(id, [&](GpuExecutor::LaunchId, TimeNs) { evicted = true; });
+  });
+  q_.run_all();
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(evicted);
+}
+
+TEST_F(ExecutorTest, BusyViewsTrackRunningKernels) {
+  const KernelDesc k = compute_kernel(1.0);
+  EXPECT_EQ(exec_.busy_tpcs(), 0u);
+  exec_.launch({&k, tpc_range(0, 2), 0b0011}, nullptr);
+  EXPECT_EQ(exec_.busy_tpcs(), tpc_range(0, 2));
+  EXPECT_EQ(exec_.busy_channels(), 0b0011u);
+  q_.run_all();
+  EXPECT_EQ(exec_.busy_tpcs(), 0u);
+}
+
+TEST_F(ExecutorTest, ManySequentialKernelsAllComplete) {
+  // Work conservation under a random launch pattern.
+  const KernelDesc k = compute_kernel(0.05);
+  int completions = 0;
+  std::function<void()> next = [&] {
+    if (completions >= 50) return;
+    exec_.launch({&k}, [&](GpuExecutor::LaunchId, TimeNs) {
+      ++completions;
+      next();
+    });
+  };
+  next();
+  q_.run_all();
+  EXPECT_EQ(completions, 50);
+  EXPECT_EQ(exec_.completions(), 50u);
+}
+
+TEST_F(ExecutorTest, RejectsInvalidLaunches) {
+  const KernelDesc k = compute_kernel(1.0);
+  EXPECT_THROW(exec_.launch({nullptr}, nullptr), ConfigError);
+  EXPECT_THROW(exec_.launch({&k, tpc_bit(60), 0}, nullptr), ConfigError);
+  EXPECT_THROW(exec_.launch({&k, 0, channel_bit(20)}, nullptr), ConfigError);
+}
+
+}  // namespace
+}  // namespace sgdrc::gpusim

@@ -1,0 +1,224 @@
+// Tests for the Tab. 3 model zoo: structural invariants, FLOP/traffic
+// sanity against the published architectures, and the footprint analysis
+// behind Fig. 16.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "models/builder.h"
+#include "models/footprint.h"
+#include "models/model.h"
+#include "models/zoo.h"
+
+namespace sgdrc::models {
+namespace {
+
+class ZooTest : public ::testing::TestWithParam<char> {};
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ZooTest,
+                         ::testing::Values('A', 'B', 'C', 'D', 'E', 'F',
+                                           'G', 'H', 'I', 'J', 'K'),
+                         [](const auto& inf) {
+                           return std::string("Model_") + inf.param;
+                         });
+
+TEST_P(ZooTest, StructuralInvariants) {
+  const ModelDesc m = make_model(GetParam());
+  EXPECT_EQ(m.letter, GetParam());
+  EXPECT_GE(m.kernels.size(), 20u) << m.name;
+  EXPECT_FALSE(m.tensors.empty());
+
+  for (const auto& k : m.kernels) {
+    EXPECT_GT(k.flops, 0u) << k.name;
+    EXPECT_GT(k.bytes, 0u) << k.name;
+    EXPECT_GE(k.blocks, 1u) << k.name;
+    EXPECT_FALSE(k.accesses.empty()) << k.name;
+    EXPECT_GE(k.max_useful_tpcs, 1.0) << k.name;
+    for (const auto& a : k.accesses) {
+      ASSERT_GE(a.tensor, 0);
+      ASSERT_LT(static_cast<size_t>(a.tensor), m.tensors.size());
+    }
+    // Tab. 3 service classes drive preemptibility (§7.1): only BE kernels
+    // poll the eviction flag.
+    EXPECT_EQ(k.preemptible, !m.is_ls()) << k.name;
+  }
+
+  // Exactly one output tensor, produced by some kernel.
+  int outputs = 0;
+  for (const auto& t : m.tensors) {
+    if (t.kind == TensorKind::kOutput) {
+      ++outputs;
+      EXPECT_GE(t.produced_by, 0);
+    }
+  }
+  EXPECT_EQ(outputs, 1) << m.name;
+}
+
+TEST_P(ZooTest, TensorGraphIsConsistent) {
+  const ModelDesc m = make_model(GetParam());
+  for (size_t ti = 0; ti < m.tensors.size(); ++ti) {
+    const auto& t = m.tensors[ti];
+    // Consumers must come after the producer.
+    for (const int k : t.consumed_by) {
+      ASSERT_LT(k, static_cast<int>(m.kernels.size()));
+      if (t.produced_by >= 0) {
+        EXPECT_GE(k, t.produced_by) << t.name;
+      }
+    }
+    if (t.kind == TensorKind::kWeight) {
+      EXPECT_EQ(t.produced_by, -1) << t.name;
+      EXPECT_FALSE(t.consumed_by.empty()) << t.name;
+    }
+  }
+}
+
+TEST(Zoo, ServiceClassesMatchTable3) {
+  const auto zoo = standard_zoo();
+  ASSERT_EQ(zoo.size(), 11u);
+  std::set<char> ls, be;
+  for (const auto& m : zoo) {
+    if (m.is_ls()) {
+      ls.insert(m.letter);
+    } else {
+      be.insert(m.letter);
+    }
+  }
+  EXPECT_EQ(ls, (std::set<char>{'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H'}));
+  EXPECT_EQ(be, (std::set<char>{'I', 'J', 'K'}));
+}
+
+TEST(Zoo, BatchSizesFollowSection92) {
+  EXPECT_EQ(mobilenet_v3().batch, 1u);
+  EXPECT_EQ(resnet152().batch, 16u);
+  EXPECT_EQ(densenet161().batch, 8u);
+  EXPECT_EQ(bert().batch, 16u);
+}
+
+TEST(Zoo, FlopTotalsMatchPublishedArchitectures) {
+  // Published forward-pass numbers (×2 flops/MAC, ×batch). Generous
+  // tolerance: recipes approximate padding/stride details.
+  const double mnv3 = static_cast<double>(mobilenet_v3().total_flops());
+  EXPECT_GT(mnv3, 0.2e9);
+  EXPECT_LT(mnv3, 1.2e9);  // ~0.44 GFLOP
+
+  const double r34 = static_cast<double>(resnet34().total_flops());
+  EXPECT_GT(r34, 4e9);
+  EXPECT_LT(r34, 12e9);  // ~7.3 GFLOP
+
+  const double r152 =
+      static_cast<double>(resnet152().total_flops()) / 16.0;  // per sample
+  EXPECT_GT(r152, 15e9);
+  EXPECT_LT(r152, 35e9);  // ~23 GFLOP
+
+  const double bert_f =
+      static_cast<double>(bert().total_flops()) / 16.0;
+  EXPECT_GT(bert_f, 10e9);
+  EXPECT_LT(bert_f, 40e9);  // ~22 GFLOP @ seq 128
+}
+
+TEST(Zoo, DenseNetIsTheMemoryHog) {
+  // DenseNet's dense concatenation makes it the most memory-intensive
+  // BE model per FLOP — the paper uses it as the canonical interferer.
+  const auto dn = densenet161();
+  const auto rn = resnet152();
+  const double dn_ratio = static_cast<double>(dn.total_bytes()) /
+                          static_cast<double>(dn.total_flops());
+  const double rn_ratio = static_cast<double>(rn.total_bytes()) /
+                          static_cast<double>(rn.total_flops());
+  EXPECT_GT(dn_ratio, rn_ratio * 1.1);
+}
+
+TEST(Zoo, LsModelsAreLighterThanBeModels) {
+  const auto zoo = standard_zoo();
+  uint64_t max_ls = 0, min_be = ~0ull;
+  for (const auto& m : zoo) {
+    if (m.is_ls()) {
+      max_ls = std::max(max_ls, m.total_flops());
+    } else {
+      min_be = std::min(min_be, m.total_flops());
+    }
+  }
+  EXPECT_LT(max_ls, min_be);
+}
+
+// ---------------------------------------------------------- Footprint ----
+
+TEST(Footprint, PeakNeverExceedsSum) {
+  for (const auto& m : standard_zoo()) {
+    const auto fp = analyze_footprint(m);
+    EXPECT_LE(fp.inter_peak_bytes, fp.inter_sum_bytes) << m.name;
+    EXPECT_GT(fp.inter_peak_bytes, 0u) << m.name;
+    EXPECT_GT(fp.weight_bytes, 0u) << m.name;
+  }
+}
+
+TEST(Footprint, ReuseShrinksChainModels) {
+  // Linear-chain models (ResNet) keep only a couple of live buffers.
+  const auto fp = analyze_footprint(resnet152());
+  EXPECT_LT(fp.inter_peak_bytes, fp.inter_sum_bytes / 4);
+}
+
+TEST(Footprint, BimodalNearlyDoublesWithoutReuse) {
+  // Fig. 16's headline: with all tensors memory-bound and no reuse,
+  // bimodal ≈ 2× original.
+  ModelDesc m = mobilenet_v3();
+  for (auto& t : m.tensors) t.memory_bound = true;
+  const auto fp = analyze_footprint(m);
+  const double ratio = static_cast<double>(fp.bimodal(false)) /
+                       static_cast<double>(fp.original(false));
+  EXPECT_GT(ratio, 1.9);
+  EXPECT_LE(ratio, 2.0);
+}
+
+TEST(Footprint, ReuseRecoversMostOfTheDuplication) {
+  ModelDesc m = densenet161();
+  for (auto& t : m.tensors) t.memory_bound = true;
+  const auto fp = analyze_footprint(m);
+  // Reuse-enabled bimodal is far below reuse-disabled bimodal — the
+  // effect is strongest for the large-batch BE models (§9.1.3).
+  EXPECT_LT(fp.bimodal(true), fp.bimodal(false) / 2);
+}
+
+TEST(Footprint, OnlyMemoryBoundTensorsDuplicate) {
+  ModelDesc m = resnet34();
+  const auto before = analyze_footprint(m);
+  EXPECT_EQ(before.bimodal(false), before.original(false));  // no MB flags
+  m.tensors[1].memory_bound = true;  // one weight tensor
+  ASSERT_EQ(m.tensors[1].kind, TensorKind::kWeight);
+  const auto after = analyze_footprint(m);
+  EXPECT_EQ(after.bimodal(false),
+            after.original(false) + m.tensors[1].bytes);
+}
+
+// ------------------------------------------------------------ Builder ----
+
+TEST(Builder, ElementwiseSharesIndexExpression) {
+  ModelBuilder b("toy", 'Z', ServiceClass::kLatencySensitive, 1);
+  const int in = b.add_input(1024);
+  const int c1 = b.conv("c1", in, 3, 8, 3, 16, 16);
+  const int c2 = b.conv("c2", in, 3, 8, 3, 16, 16);
+  b.elementwise("add", c1, c2);
+  const ModelDesc m = b.build();
+  const auto& add = m.kernels.back();
+  ASSERT_EQ(add.accesses.size(), 3u);
+  EXPECT_EQ(add.accesses[0].index_expr, add.accesses[1].index_expr);
+  EXPECT_EQ(add.accesses[0].index_expr, add.accesses[2].index_expr);
+}
+
+TEST(Builder, GroupedConvReducesFlops) {
+  ModelBuilder b("toy", 'Z', ServiceClass::kLatencySensitive, 1);
+  const int in = b.add_input(64 * 64 * 32 * 4);
+  b.conv("dense", in, 32, 32, 3, 64, 64, 1);
+  b.conv("depthwise", in, 32, 32, 3, 64, 64, 32);
+  const ModelDesc m = b.build();
+  EXPECT_EQ(m.kernels[0].flops, m.kernels[1].flops * 32);
+}
+
+TEST(Builder, RejectsBadGroupCounts) {
+  ModelBuilder b("toy", 'Z', ServiceClass::kLatencySensitive, 1);
+  const int in = b.add_input(1024);
+  EXPECT_THROW(b.conv("bad", in, 30, 32, 3, 8, 8, 7), ConfigError);
+}
+
+}  // namespace
+}  // namespace sgdrc::models

@@ -47,7 +47,9 @@ int main() {
       SgdrcPolicy p(o.spec, opt);
       const auto m = h.run(p, true);
       uint64_t ev = 0;
-      for (const auto& b : m.be) ev += b.evictions;
+      for (const auto* b : m.of_class(workload::QosClass::kBestEffort)) {
+        ev += b->evictions;
+      }
       t.add_row({std::to_string(w), TextTable::pct(m.mean_attainment()),
                  TextTable::num(m.be_throughput(), 1), std::to_string(ev)});
     }

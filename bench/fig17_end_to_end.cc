@@ -85,12 +85,14 @@ void run_scenario(const gpusim::GpuSpec& spec, bool heavy) {
     std::vector<std::string> header{"p99 (ms)"};
     for (const auto& r : results) header.push_back(r.name);
     TextTable t(header);
-    const size_t n_ls = results[0].metrics.ls.size();
-    for (size_t s = 0; s < n_ls; ++s) {
-      std::vector<std::string> row{
-          std::string(1, results[0].metrics.ls[s].letter)};
+    const auto first_ls =
+        results[0].metrics.of_class(workload::QosClass::kLatencySensitive);
+    for (size_t s = 0; s < first_ls.size(); ++s) {
+      std::vector<std::string> row{std::string(1, first_ls[s]->letter)};
       for (const auto& r : results) {
-        row.push_back(TextTable::num(r.metrics.ls[s].p99_ms(), 2));
+        const auto ls =
+            r.metrics.of_class(workload::QosClass::kLatencySensitive);
+        row.push_back(TextTable::num(ls[s]->p99_ms(), 2));
       }
       t.add_row(row);
     }

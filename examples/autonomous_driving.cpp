@@ -37,9 +37,12 @@ int main() {
 
   TextTable t({"LS service", "SLO (ms)", "SGDRC p99 (ms)", "MPS p99 (ms)",
                "SGDRC att.", "MPS att."});
-  for (size_t s = 0; s < m_sgdrc.ls.size(); ++s) {
-    const auto& a = m_sgdrc.ls[s];
-    const auto& b = m_mps.ls[s];
+  const auto ls_sgdrc =
+      m_sgdrc.of_class(workload::QosClass::kLatencySensitive);
+  const auto ls_mps = m_mps.of_class(workload::QosClass::kLatencySensitive);
+  for (size_t s = 0; s < ls_sgdrc.size(); ++s) {
+    const auto& a = *ls_sgdrc[s];
+    const auto& b = *ls_mps[s];
     t.add_row({a.name, TextTable::num(to_ms(a.slo), 2),
                TextTable::num(a.p99_ms(), 2), TextTable::num(b.p99_ms(), 2),
                TextTable::pct(a.attainment()), TextTable::pct(b.attainment())});

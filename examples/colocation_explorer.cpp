@@ -37,7 +37,9 @@ int main() {
       SgdrcPolicy policy(options.spec, opt);
       const auto m = harness.run(policy, true);
       double worst = 0;
-      for (const auto& ls : m.ls) worst = std::max(worst, ls.p99_ms());
+      for (const auto* ls : m.of_class(workload::QosClass::kLatencySensitive)) {
+        worst = std::max(worst, ls->p99_ms());
+      }
       t.add_row({TextTable::num(ch_be, 2),
                  gpusim::channel_set_to_string(policy.be_channels()),
                  TextTable::num(worst, 2),

@@ -1,0 +1,90 @@
+// N-way colocation through the tenant API: two latency-sensitive
+// services plus TWO best-effort tenants co-resident at the same time on
+// one RTX A2000 — a scenario the old hardcoded LS/BE-pair API could not
+// express. Compares §9.2's round-robin BE rotation against concurrent
+// co-residency under SGDRC, per tenant.
+//
+//   ./multi_tenant
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/profiler.h"
+#include "core/serving.h"
+#include "core/sgdrc_policy.h"
+#include "models/zoo.h"
+#include "workload/trace.h"
+
+using namespace sgdrc;
+using namespace sgdrc::core;
+
+namespace {
+
+void report(const char* mode, const workload::ServingMetrics& m) {
+  std::printf("BE mode: %s\n", mode);
+  TextTable t({"tenant", "class", "p99 (ms)", "SLO att.", "samples/s",
+               "evictions"});
+  for (const auto& tm : m.tenants) {
+    const bool ls = tm.qos == workload::QosClass::kLatencySensitive;
+    t.add_row({tm.name, workload::qos_name(tm.qos),
+               ls ? TextTable::num(tm.p99_ms(), 2) : "-",
+               ls ? TextTable::pct(tm.attainment()) : "-",
+               ls ? "-" : TextTable::num(tm.samples() / to_sec(m.duration), 1),
+               ls ? "-" : std::to_string(tm.evictions)});
+  }
+  t.print();
+  std::printf("mean attainment %.1f%%, BE %.1f samples/s, overall %.0f/s\n\n",
+              100.0 * m.mean_attainment(), m.be_throughput(),
+              m.overall_throughput());
+}
+
+}  // namespace
+
+int main() {
+  const auto spec = gpusim::rtx_a2000();
+  OfflineProfiler profiler(spec);
+
+  // Offline phase for all four tenants' models (min-TPC counts and
+  // memory-boundedness feed the tidal scheduler).
+  auto ls_a = models::make_model('A');  // MobileNetV3
+  auto ls_b = models::make_model('B');  // SqueezeNet
+  auto be_i = models::make_model('I');
+  auto be_j = models::make_model('J');
+  for (auto* m : {&ls_a, &ls_b, &be_i, &be_j}) profiler.profile(*m);
+  const TimeNs iso_a = profiler.isolated_latency(ls_a);
+  const TimeNs iso_b = profiler.isolated_latency(ls_b);
+
+  // One shared trace: both LS services at ~25% of serialized capacity.
+  workload::TraceOptions topt;
+  topt.services = 2;
+  topt.duration = 1 * kNsPerSec;
+  topt.per_service_rates = {0.25 / to_sec(iso_a), 0.25 / to_sec(iso_b)};
+  topt.seed = 0x7e7a;
+  const auto trace = workload::generate_apollo_like_trace(topt);
+
+  std::printf("multi-tenant colocation on %s: 2 LS + 2 BE tenants, %zu "
+              "requests\n\n",
+              spec.name.c_str(), trace.size());
+
+  for (const auto mode : {BeMode::kRoundRobin, BeMode::kConcurrent}) {
+    SgdrcPolicy policy(spec);
+    const auto sim = ServingSimBuilder()
+                         .gpu(spec)
+                         .duration(topt.duration)
+                         .best_effort_mode(mode)
+                         .add_latency_sensitive(ls_a, iso_a)
+                         .add_latency_sensitive(ls_b, iso_b)
+                         .add_best_effort(be_i)
+                         .add_best_effort(be_j)
+                         .build(policy);
+    report(mode == BeMode::kRoundRobin ? "round-robin (§9.2 rotation)"
+                                       : "concurrent (both BE resident)",
+           sim->run(trace));
+  }
+
+  std::printf(
+      "Reading: the rotation serves one BE tenant at a time (batches\n"
+      "alternate); concurrent mode keeps both resident and SGDRC's tide\n"
+      "pool is shared — per-tenant progress is now visible because every\n"
+      "workload owns a TenantId-keyed metrics slot.\n");
+  return 0;
+}

@@ -34,16 +34,16 @@ int main() {
   const auto metrics = harness.run(sgdrc, /*spt=*/true);
 
   std::printf("\n=== SGDRC on %s ===\n", options.spec.name.c_str());
-  for (const auto& ls : metrics.ls) {
-    std::printf("LS %-14s p99 %.3f ms (SLO %.3f ms) attainment %.1f%%\n",
-                ls.name.c_str(), ls.p99_ms(), to_ms(ls.slo),
-                100.0 * ls.attainment());
-  }
-  for (const auto& be : metrics.be) {
-    std::printf("BE %-14s %.1f samples/s (%llu evictions)\n",
-                be.name.c_str(),
-                be.samples() / to_sec(metrics.duration),
-                static_cast<unsigned long long>(be.evictions));
+  for (const auto& t : metrics.tenants) {
+    if (t.qos == workload::QosClass::kLatencySensitive) {
+      std::printf("LS %-14s p99 %.3f ms (SLO %.3f ms) attainment %.1f%%\n",
+                  t.name.c_str(), t.p99_ms(), to_ms(t.slo),
+                  100.0 * t.attainment());
+    } else {
+      std::printf("BE %-14s %.1f samples/s (%llu evictions)\n",
+                  t.name.c_str(), t.samples() / to_sec(metrics.duration),
+                  static_cast<unsigned long long>(t.evictions));
+    }
   }
   std::printf("overall throughput: %.1f samples/s\n",
               metrics.overall_throughput());

@@ -4,31 +4,33 @@
 
 namespace sgdrc::baselines {
 
+using core::QosClass;
 using core::ServingSim;
 using gpusim::TpcMask;
 
 // ----------------------------------------------------------- Temporal ----
 
 void TemporalPolicy::schedule(ServingSim& sim) {
-  const auto waiting = sim.waiting_ls_jobs();
-  const bool be_present = sim.has_be();
-  const auto be = be_present ? sim.be_state()
-                             : ServingSim::BeView{0, nullptr, false, false};
+  const auto waiting = sim.waiting_jobs(QosClass::kLatencySensitive);
 
   if (!waiting.empty()) {
-    // LS work exists: claim the GPU. Preempt a running BE kernel first.
-    if (be.in_flight) {
-      if (!be.evicting) sim.evict_be();
-      return;  // wait for the eviction to land
+    // LS work exists: claim the GPU. Preempt running BE kernels first.
+    if (sim.inflight(QosClass::kBestEffort) > 0) {
+      for (const auto& job : sim.jobs(QosClass::kBestEffort)) {
+        if (job.in_flight && !job.evicting) sim.evict(job.id);
+      }
+      return;  // wait for the evictions to land
     }
-    if (sim.ls_inflight() == 0) {
-      sim.launch_ls(waiting.front().id, 0, 0);  // whole GPU
+    if (sim.inflight(QosClass::kLatencySensitive) == 0) {
+      sim.launch(waiting.front().id, {});  // whole GPU
     }
     return;
   }
-  // No LS waiting: BE may use the GPU exclusively.
-  if (be_present && !be.in_flight && sim.ls_inflight() == 0) {
-    sim.launch_be(0, 0);
+  // No LS waiting: BE may use the GPU exclusively, one kernel at a time.
+  if (sim.inflight(QosClass::kLatencySensitive) == 0 &&
+      sim.inflight(QosClass::kBestEffort) == 0) {
+    const auto be = sim.waiting_jobs(QosClass::kBestEffort);
+    if (!be.empty()) sim.launch(be.front().id, {});
   }
 }
 
@@ -38,11 +40,11 @@ void MultiStreamPolicy::schedule(ServingSim& sim) {
   // Everything launches immediately; the hardware scheduler (our
   // processor-sharing executor) arbitrates. LS "priority" only orders the
   // launch queue — it cannot prevent intra-SM or channel contention.
-  for (const auto& job : sim.waiting_ls_jobs()) {
-    sim.launch_ls(job.id, 0, 0);
+  for (const auto& job : sim.waiting_jobs(QosClass::kLatencySensitive)) {
+    sim.launch(job.id, {});
   }
-  if (sim.has_be() && !sim.be_state().in_flight) {
-    sim.launch_be(0, 0);
+  for (const auto& job : sim.waiting_jobs(QosClass::kBestEffort)) {
+    sim.launch(job.id, {});
   }
 }
 
@@ -58,12 +60,13 @@ MpsPolicy::MpsPolicy(const gpusim::GpuSpec& spec) {
 
 void MpsPolicy::schedule(ServingSim& sim) {
   // All LS jobs share the LS instance's thread slice concurrently
-  // (intra-SM conflicts among LS kernels, §9.3's MPS analysis).
-  for (const auto& job : sim.waiting_ls_jobs()) {
-    sim.launch_ls(job.id, ls_mask_, 0);
+  // (intra-SM conflicts among LS kernels, §9.3's MPS analysis); BE
+  // tenants share the BE instance's slice the same way.
+  for (const auto& job : sim.waiting_jobs(QosClass::kLatencySensitive)) {
+    sim.launch(job.id, {ls_mask_, 0});
   }
-  if (sim.has_be() && !sim.be_state().in_flight) {
-    sim.launch_be(be_mask_, 0);
+  for (const auto& job : sim.waiting_jobs(QosClass::kBestEffort)) {
+    sim.launch(job.id, {be_mask_, 0});
   }
 }
 
@@ -75,22 +78,23 @@ void TgsPolicy::schedule(ServingSim& sim) {
     sim.poke_at(frozen_until_);
     return;  // paying the container context switch
   }
-  const auto waiting = sim.waiting_ls_jobs();
-  const bool ls_wants = !waiting.empty() || sim.ls_inflight() > 0;
-  const bool be_present = sim.has_be();
+  const auto waiting = sim.waiting_jobs(QosClass::kLatencySensitive);
+  const bool ls_wants =
+      !waiting.empty() || sim.inflight(QosClass::kLatencySensitive) > 0;
+  const bool be_present = sim.has_class(QosClass::kBestEffort);
 
   // Feedback-style switching: only reconsider the active container after
   // `dwell`, then pay the switch cost.
   const bool may_switch = now - last_switch_ >= opt_.dwell;
-  if (active_ == Container::kBe && ls_wants && may_switch) {
-    active_ = Container::kLs;
+  if (active_ == Container::kLs && !ls_wants && be_present && may_switch) {
+    active_ = Container::kBe;
     last_switch_ = now;
     frozen_until_ = now + opt_.switch_cost;
     sim.poke_at(frozen_until_);
     return;
   }
-  if (active_ == Container::kLs && !ls_wants && be_present && may_switch) {
-    active_ = Container::kBe;
+  if (active_ == Container::kBe && ls_wants && may_switch) {
+    active_ = Container::kLs;
     last_switch_ = now;
     frozen_until_ = now + opt_.switch_cost;
     sim.poke_at(frozen_until_);
@@ -101,11 +105,13 @@ void TgsPolicy::schedule(ServingSim& sim) {
   }
 
   if (active_ == Container::kLs) {
-    if (sim.ls_inflight() == 0 && !waiting.empty()) {
-      sim.launch_ls(waiting.front().id, 0, 0);
+    if (sim.inflight(QosClass::kLatencySensitive) == 0 && !waiting.empty()) {
+      sim.launch(waiting.front().id, {});
     }
-  } else if (be_present && !sim.be_state().in_flight) {
-    sim.launch_be(0, 0);
+  } else {
+    for (const auto& job : sim.waiting_jobs(QosClass::kBestEffort)) {
+      sim.launch(job.id, {});
+    }
   }
 }
 
@@ -113,55 +119,71 @@ void TgsPolicy::schedule(ServingSim& sim) {
 
 void OrionPolicy::schedule(ServingSim& sim) {
   // LS stream: unrestricted, launch everything immediately.
-  for (const auto& job : sim.waiting_ls_jobs()) {
-    sim.launch_ls(job.id, 0, 0);
+  for (const auto& job : sim.waiting_jobs(QosClass::kLatencySensitive)) {
+    sim.launch(job.id, {});
   }
-  if (!sim.has_be() || sim.be_state().in_flight) return;
 
-  const gpusim::KernelDesc* be_kernel = sim.be_state().next_kernel;
-  SGDRC_CHECK(be_kernel != nullptr, "BE idle but no next kernel");
-
-  // Interference-aware admission (§3.1's constraint classes):
   const auto running = sim.exec().running_infos();
-
-  // 1) LS pressure: too many LS kernels executing or queued ⇒ the
-  //    scheduler cannot find a safe co-execution slot.
-  const size_t ls_pressure = sim.ls_inflight() + sim.waiting_ls_jobs().size();
-  if (ls_pressure > opt_.ls_pressure_limit) {
-    ++rej_sm_;
-    return;
-  }
-
-  // 2) Runtime constraint: the BE kernel must not outlive the running LS
-  //    kernels (it would block the next LS kernel's resources).
   const unsigned tpcs = sim.spec().num_tpcs;
   const unsigned chans = sim.spec().num_channels;
-  const TimeNs be_rt = sim.exec().solo_runtime(*be_kernel, tpcs, chans,
-                                               be_kernel->spt_transformed);
-  for (const auto& info : running) {
-    if (info.tag == ~uint64_t{0}) continue;  // ignore other BE kernels
-    const TimeNs ls_rt = sim.exec().solo_runtime(
-        *info.kernel, tpcs, chans, info.kernel->spt_transformed);
-    if (static_cast<double>(be_rt) >
-        opt_.runtime_ratio * static_cast<double>(ls_rt)) {
-      ++rej_runtime_;
-      return;
-    }
-  }
+  // LS pressure is invariant across the BE admission loop: launching BE
+  // kernels changes neither LS in-flight nor waiting counts.
+  const size_t ls_pressure =
+      sim.inflight(QosClass::kLatencySensitive) +
+      sim.waiting_jobs(QosClass::kLatencySensitive).size();
 
-  // 3) Resource (memory) constraint: never co-run a memory-bound BE
-  //    kernel while a memory-bound LS kernel executes.
-  if (be_kernel->memory_bound) {
+  // Interference-aware admission (§3.1's constraint classes), per waiting
+  // BE kernel.
+  for (const auto& be_job : sim.waiting_jobs(QosClass::kBestEffort)) {
+    const gpusim::KernelDesc* be_kernel = be_job.next_kernel;
+    SGDRC_CHECK(be_kernel != nullptr, "BE idle but no next kernel");
+
+    // 1) LS pressure: too many LS kernels executing or queued ⇒ the
+    //    scheduler cannot find a safe co-execution slot.
+    if (ls_pressure > opt_.ls_pressure_limit) {
+      ++rej_sm_;
+      continue;
+    }
+
+    // 2) Runtime constraint: the BE kernel must not outlive the running
+    //    LS kernels (it would block the next LS kernel's resources).
+    const TimeNs be_rt = sim.exec().solo_runtime(*be_kernel, tpcs, chans,
+                                                 be_kernel->spt_transformed);
+    bool rejected = false;
     for (const auto& info : running) {
-      if (info.tag != ~uint64_t{0} && info.kernel->memory_bound) {
-        ++rej_resource_;
-        return;
+      const auto owner = sim.find_job(info.tag);
+      if (owner && owner->qos == QosClass::kBestEffort) {
+        continue;  // ignore other BE kernels
+      }
+      const TimeNs ls_rt = sim.exec().solo_runtime(
+          *info.kernel, tpcs, chans, info.kernel->spt_transformed);
+      if (static_cast<double>(be_rt) >
+          opt_.runtime_ratio * static_cast<double>(ls_rt)) {
+        ++rej_runtime_;
+        rejected = true;
+        break;
       }
     }
-  }
+    if (rejected) continue;
 
-  ++admitted_;
-  sim.launch_be(0, 0);
+    // 3) Resource (memory) constraint: never co-run a memory-bound BE
+    //    kernel while a memory-bound LS kernel executes.
+    if (be_kernel->memory_bound) {
+      for (const auto& info : running) {
+        const auto owner = sim.find_job(info.tag);
+        const bool is_be = owner && owner->qos == QosClass::kBestEffort;
+        if (!is_be && info.kernel->memory_bound) {
+          ++rej_resource_;
+          rejected = true;
+          break;
+        }
+      }
+    }
+    if (rejected) continue;
+
+    ++admitted_;
+    sim.launch(be_job.id, {});
+  }
 }
 
 }  // namespace sgdrc::baselines

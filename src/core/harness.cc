@@ -58,25 +58,27 @@ ServingHarness::ServingHarness(HarnessOptions opt) : opt_(std::move(opt)) {
 
 workload::ServingMetrics ServingHarness::run(Policy& policy,
                                              bool spt) const {
-  ServingConfig cfg;
-  cfg.spec = opt_.spec;
-  cfg.exec_params = opt_.exec_params;
-  cfg.ls_instances = opt_.ls_instances;
-  cfg.duration = opt_.duration;
-  // §9.2: n = services concurrently on the GPU = LS models + 1 BE task.
-  cfg.slo_multiplier = static_cast<double>(ls_plain_.size() + 1);
+  ServingSimBuilder builder;
+  builder.gpu(opt_.spec)
+      .executor_params(opt_.exec_params)
+      .default_ls_instances(opt_.ls_instances)
+      .duration(opt_.duration)
+      .best_effort_mode(opt_.be_mode)
+      // §9.2: n = services concurrently on the GPU = LS models + 1 BE
+      // task (the rotation keeps one resident; concurrent mode keeps all).
+      .slo_multiplier(static_cast<double>(
+          ls_plain_.size() + (opt_.be_mode == BeMode::kRoundRobin
+                                  ? 1
+                                  : be_plain_.size())));
 
-  std::vector<LsServiceSpec> ls;
   const auto& ls_src = spt ? ls_spt_ : ls_plain_;
   for (size_t i = 0; i < ls_src.size(); ++i) {
-    ls.push_back({ls_src[i], iso_[i]});
+    builder.add_latency_sensitive(ls_src[i], iso_[i]);
   }
-  std::vector<BeTaskSpec> be;
   for (const auto& m : (spt ? be_spt_ : be_plain_)) {
-    be.push_back({m});
+    builder.add_best_effort(m);
   }
-  ServingSim sim(cfg, std::move(ls), std::move(be), policy);
-  return sim.run(trace_);
+  return builder.build(policy)->run(trace_);
 }
 
 }  // namespace sgdrc::core

@@ -29,6 +29,9 @@ struct HarnessOptions {
   double burstiness = 0.5;
   TimeNs duration = 2 * kNsPerSec;
   unsigned ls_instances = 4;
+  /// How the BE tenants share the GPU: §9.2's round-robin rotation, or
+  /// all tenants co-resident (opens N-way colocation scenarios).
+  BeMode be_mode = BeMode::kRoundRobin;
   uint64_t seed = 0x5eed;
 };
 

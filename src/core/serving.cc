@@ -4,40 +4,69 @@
 
 namespace sgdrc::core {
 
-using gpusim::ChannelSet;
 using gpusim::GpuExecutor;
-using gpusim::TpcMask;
 using workload::Request;
 
-ServingSim::ServingSim(ServingConfig cfg, std::vector<LsServiceSpec> ls,
-                       std::vector<BeTaskSpec> be, Policy& policy)
-    : cfg_(std::move(cfg)), ls_(std::move(ls)), be_(std::move(be)),
-      policy_(policy) {
-  SGDRC_REQUIRE(!ls_.empty(), "serving needs at least one LS service");
-  SGDRC_REQUIRE(cfg_.ls_instances >= 1, "need at least one instance");
+namespace {
+constexpr size_t qos_index(QosClass q) {
+  return q == QosClass::kLatencySensitive ? 0 : 1;
+}
+}  // namespace
+
+ServingSim::ServingSim(ServingConfig cfg, std::vector<TenantSpec> tenants,
+                       Policy& policy)
+    : cfg_(std::move(cfg)), tenants_(std::move(tenants)), policy_(policy) {
+  SGDRC_REQUIRE(!tenants_.empty(), "serving needs at least one tenant");
   exec_ = std::make_unique<GpuExecutor>(cfg_.spec, queue_, cfg_.exec_params);
 
+  for (TenantId t = 0; t < tenants_.size(); ++t) {
+    const auto& spec = tenants_[t];
+    if (spec.qos == QosClass::kLatencySensitive) {
+      ls_tenants_.push_back(t);
+    } else {
+      be_tenants_.push_back(t);
+    }
+  }
+
+  // SLO multiplier n = services concurrently on the GPU (§9.2): all LS
+  // tenants plus the resident BE jobs (one rotating slot, or every BE
+  // tenant when concurrent).
+  const size_t be_slots = cfg_.be_mode == BeMode::kRoundRobin
+                              ? (be_tenants_.empty() ? 0 : 1)
+                              : be_tenants_.size();
   const double n = cfg_.slo_multiplier > 0.0
                        ? cfg_.slo_multiplier
-                       : static_cast<double>(ls_.size() + be_.size());
-  for (const auto& s : ls_) {
-    workload::LsServiceMetrics m;
-    m.name = s.model.name;
-    m.letter = s.model.letter;
-    m.isolated_p99 = s.isolated_latency;
-    m.slo = static_cast<TimeNs>(n * static_cast<double>(s.isolated_latency));
-    metrics_.ls.push_back(std::move(m));
+                       : static_cast<double>(ls_tenants_.size() + be_slots);
+
+  free_instances_.assign(tenants_.size(), 0);
+  backlog_.resize(tenants_.size());
+  for (TenantId t = 0; t < tenants_.size(); ++t) {
+    const auto& spec = tenants_[t];
+    workload::TenantMetrics m;
+    m.id = t;
+    m.qos = spec.qos;
+    m.name = spec.model.name;
+    m.letter = spec.model.letter;
+    if (spec.qos == QosClass::kLatencySensitive) {
+      const unsigned instances =
+          spec.instances ? spec.instances : cfg_.ls_instances;
+      SGDRC_REQUIRE(instances >= 1, "need at least one instance");
+      free_instances_[t] = instances;
+      m.isolated_p99 = spec.isolated_latency;
+      m.slo = static_cast<TimeNs>(
+          n * static_cast<double>(spec.isolated_latency));
+    } else {
+      SGDRC_REQUIRE(!spec.model.kernels.empty(), "BE tenant with no kernels");
+      m.batch = spec.model.batch;
+      m.kernels_per_batch = spec.model.kernels.size();
+      // The BE batch loop is a permanent closed-loop job.
+      Job job;
+      job.id = next_job_++;
+      job.tenant = t;
+      jobs_.push_back(job);
+    }
+    metrics_.tenants.push_back(std::move(m));
   }
-  for (const auto& b : be_) {
-    workload::BeTaskMetrics m;
-    m.name = b.model.name;
-    m.letter = b.model.letter;
-    m.batch = b.model.batch;
-    m.kernels_per_batch = b.model.kernels.size();
-    metrics_.be.push_back(std::move(m));
-  }
-  free_instances_.assign(ls_.size(), cfg_.ls_instances);
-  backlog_.resize(ls_.size());
 }
 
 workload::ServingMetrics ServingSim::run(
@@ -47,156 +76,218 @@ workload::ServingMetrics ServingSim::run(
     if (r.arrival >= cfg_.duration) break;
     queue_.schedule_at(r.arrival, [this, r] { arrive(r); });
   }
-  poke();  // let the policy start the BE closed loop immediately
+  poke();  // let the policy start the BE closed loops immediately
   queue_.run_until(cfg_.duration);
   stopped_ = true;
   return metrics_;
 }
 
 void ServingSim::arrive(const Request& r) {
-  SGDRC_REQUIRE(r.service < ls_.size(), "request for unknown service");
-  ++metrics_.ls[r.service].arrived;
-  if (free_instances_[r.service] > 0) {
-    --free_instances_[r.service];
-    admit(r.service, r.arrival);
+  SGDRC_REQUIRE(r.service < ls_tenants_.size(),
+                "request for unknown service");
+  const TenantId t = ls_tenants_[r.service];
+  ++metrics_.tenants[t].arrived;
+  if (free_instances_[t] > 0) {
+    --free_instances_[t];
+    admit(t, r.arrival);
   } else {
-    backlog_[r.service].push_back(r.arrival);
+    backlog_[t].push_back(r.arrival);
   }
   poke();
 }
 
-void ServingSim::admit(unsigned service, TimeNs arrival) {
-  LsJob job;
+void ServingSim::admit(TenantId tenant, TimeNs arrival) {
+  Job job;
   job.id = next_job_++;
-  job.service = service;
+  job.tenant = tenant;
   job.arrival = arrival;
   jobs_.push_back(job);
 }
 
-std::vector<ServingSim::LsJobView> ServingSim::ls_jobs() const {
-  std::vector<LsJobView> out;
-  out.reserve(jobs_.size());
+bool ServingSim::visible(const Job& j) const {
+  if (qos_of(j) == QosClass::kLatencySensitive) return true;
+  return cfg_.be_mode == BeMode::kConcurrent ||
+         be_tenants_[be_resident_] == j.tenant;
+}
+
+ServingSim::JobView ServingSim::view_of(const Job& j) const {
+  const auto& kernels = tenants_[j.tenant].model.kernels;
+  return {j.id,
+          j.tenant,
+          qos_of(j),
+          j.arrival,
+          j.in_flight ? nullptr : &kernels[j.cursor],
+          j.in_flight,
+          j.evicting};
+}
+
+std::vector<ServingSim::JobView> ServingSim::jobs(QosClass qos) const {
+  std::vector<JobView> out;
   for (const auto& j : jobs_) {
-    const auto& kernels = ls_[j.service].model.kernels;
-    out.push_back({j.id, j.service, j.arrival,
-                   j.in_flight ? nullptr : &kernels[j.cursor],
-                   j.in_flight});
+    if (qos_of(j) == qos && visible(j)) out.push_back(view_of(j));
   }
   return out;
 }
 
-std::vector<ServingSim::LsJobView> ServingSim::waiting_ls_jobs() const {
-  auto all = ls_jobs();
-  std::vector<LsJobView> out;
-  for (const auto& v : all) {
-    if (!v.in_flight) out.push_back(v);
+std::vector<ServingSim::JobView> ServingSim::jobs() const {
+  auto out = jobs(QosClass::kLatencySensitive);
+  const auto be = jobs(QosClass::kBestEffort);
+  out.insert(out.end(), be.begin(), be.end());
+  return out;
+}
+
+std::vector<ServingSim::JobView> ServingSim::waiting_jobs(
+    QosClass qos) const {
+  std::vector<JobView> out;
+  for (const auto& j : jobs_) {
+    if (qos_of(j) == qos && visible(j) && !j.in_flight) {
+      out.push_back(view_of(j));
+    }
   }
   return out;
 }
 
-std::vector<const gpusim::KernelDesc*> ServingSim::upcoming_ls_kernels(
-    size_t window) const {
+std::optional<ServingSim::JobView> ServingSim::find_job(JobId id) const {
+  const Job* j = job_ptr(id);
+  if (!j) return std::nullopt;
+  return view_of(*j);
+}
+
+size_t ServingSim::inflight(QosClass qos) const {
+  return inflight_[qos_index(qos)];
+}
+
+std::vector<const gpusim::KernelDesc*> ServingSim::upcoming_kernels(
+    QosClass qos, size_t window) const {
   std::vector<const gpusim::KernelDesc*> out;
   for (const auto& j : jobs_) {
     if (out.size() >= window) break;
-    if (!j.in_flight) {
-      out.push_back(&ls_[j.service].model.kernels[j.cursor]);
+    if (qos_of(j) == qos && visible(j) && !j.in_flight) {
+      out.push_back(&tenants_[j.tenant].model.kernels[j.cursor]);
     }
   }
   return out;
 }
 
-ServingSim::BeView ServingSim::be_state() const {
-  SGDRC_REQUIRE(!be_.empty(), "no BE task configured");
-  const auto& model = be_[be_current_].model;
-  const gpusim::KernelDesc* next =
-      be_in_flight_ ? nullptr : &model.kernels[be_cursor_];
-  return {be_current_, next, be_in_flight_, be_evicting_};
+size_t ServingSim::tenant_count(QosClass qos) const {
+  return qos == QosClass::kLatencySensitive ? ls_tenants_.size()
+                                            : be_tenants_.size();
 }
 
-void ServingSim::launch_ls(JobId id, TpcMask mask, ChannelSet channels) {
+ServingSim::Job* ServingSim::job_ptr(JobId id) {
   auto it = std::find_if(jobs_.begin(), jobs_.end(),
-                         [&](const LsJob& j) { return j.id == id; });
-  SGDRC_REQUIRE(it != jobs_.end(), "unknown LS job");
-  SGDRC_REQUIRE(!it->in_flight, "LS job already has a kernel in flight");
-  const auto& model = ls_[it->service].model;
-  const gpusim::KernelDesc& k = model.kernels[it->cursor];
-  // Only memory-bound kernels are channel-colored (§7.2); others keep the
-  // default all-channel mapping.
-  const ChannelSet ch = k.memory_bound ? channels : 0;
-  it->in_flight = true;
-  if (ls_inflight_ == 0) ls_busy_since_ = now();
-  ++ls_inflight_;
-  exec_->launch({&k, mask, ch, id},
-                [this, id](GpuExecutor::LaunchId, TimeNs) {
-                  finish_ls_kernel(id);
-                });
+                         [&](const Job& j) { return j.id == id; });
+  return it == jobs_.end() ? nullptr : &*it;
 }
 
-void ServingSim::finish_ls_kernel(JobId id) {
+const ServingSim::Job* ServingSim::job_ptr(JobId id) const {
   auto it = std::find_if(jobs_.begin(), jobs_.end(),
-                         [&](const LsJob& j) { return j.id == id; });
-  SGDRC_CHECK(it != jobs_.end(), "completion for unknown LS job");
-  it->in_flight = false;
-  --ls_inflight_;
-  if (ls_inflight_ == 0) metrics_.ls_busy_ns += now() - ls_busy_since_;
-  ++it->cursor;
-  const unsigned service = it->service;
-  if (it->cursor >= ls_[service].model.kernels.size()) {
-    if (!stopped_) metrics_.record_ls(service, it->arrival, now());
-    jobs_.erase(it);
-    // Hand the instance to the next queued request.
-    if (!backlog_[service].empty()) {
-      const TimeNs arrival = backlog_[service].front();
-      backlog_[service].pop_front();
-      admit(service, arrival);
-    } else {
-      ++free_instances_[service];
+                         [&](const Job& j) { return j.id == id; });
+  return it == jobs_.end() ? nullptr : &*it;
+}
+
+void ServingSim::note_inflight(QosClass qos, int delta) {
+  const size_t i = qos_index(qos);
+  if (delta > 0) {
+    if (inflight_[i] == 0) busy_since_[i] = now();
+    ++inflight_[i];
+  } else {
+    SGDRC_CHECK(inflight_[i] > 0, "in-flight underflow");
+    --inflight_[i];
+    if (inflight_[i] == 0) {
+      auto& busy = qos == QosClass::kLatencySensitive ? metrics_.ls_busy_ns
+                                                      : metrics_.be_busy_ns;
+      busy += now() - busy_since_[i];
     }
   }
-  poke();
 }
 
-void ServingSim::launch_be(TpcMask mask, ChannelSet channels) {
-  SGDRC_REQUIRE(!be_.empty(), "no BE task configured");
-  SGDRC_REQUIRE(!be_in_flight_, "BE kernel already in flight");
-  const auto& model = be_[be_current_].model;
-  const gpusim::KernelDesc& k = model.kernels[be_cursor_];
-  const ChannelSet ch = k.memory_bound ? channels : 0;
-  be_in_flight_ = true;
-  be_evicting_ = false;
-  be_started_ = now();
-  be_launch_ = exec_->launch(
-      {&k, mask, ch, ~uint64_t{0}},
-      [this](GpuExecutor::LaunchId, TimeNs) { finish_be_kernel(); });
+void ServingSim::launch(JobId id, LaunchSpec spec) {
+  Job* job = job_ptr(id);
+  SGDRC_REQUIRE(job != nullptr, "unknown job");
+  SGDRC_REQUIRE(visible(*job), "job is not resident (BE rotation)");
+  SGDRC_REQUIRE(!job->in_flight, "job already has a kernel in flight");
+  const auto& model = tenants_[job->tenant].model;
+  const gpusim::KernelDesc& k = model.kernels[job->cursor];
+  // Only memory-bound kernels are channel-colored (§7.2); others keep the
+  // default all-channel mapping.
+  const gpusim::ChannelSet ch = k.memory_bound ? spec.channels : 0;
+  job->in_flight = true;
+  job->evicting = false;
+  note_inflight(qos_of(*job), +1);
+  job->launch_id = exec_->launch({&k, spec.tpc_mask, ch, id},
+                                 [this, id](GpuExecutor::LaunchId, TimeNs) {
+                                   finish_kernel(id);
+                                 });
 }
 
-void ServingSim::finish_be_kernel() {
-  be_in_flight_ = false;
-  be_evicting_ = false;
-  ++be_cursor_;
-  metrics_.be_busy_ns += now() - be_started_;
-  if (!stopped_) ++metrics_.be[be_current_].kernels_done;
-  if (be_cursor_ >= be_[be_current_].model.kernels.size()) {
-    if (!stopped_) ++metrics_.be[be_current_].batches_completed;
-    be_cursor_ = 0;
-    be_current_ = (be_current_ + 1) % be_.size();  // round-robin rotation
+void ServingSim::finish_kernel(JobId id) {
+  auto it = std::find_if(jobs_.begin(), jobs_.end(),
+                         [&](const Job& j) { return j.id == id; });
+  SGDRC_CHECK(it != jobs_.end(), "completion for unknown job");
+  Job& job = *it;
+  const QosClass qos = qos_of(job);
+  job.in_flight = false;
+  job.evicting = false;
+  note_inflight(qos, -1);
+  ++job.cursor;
+
+  if (qos == QosClass::kBestEffort) {
+    auto& m = metrics_.tenants[job.tenant];
+    if (!stopped_) ++m.kernels_done;
+    if (job.cursor >= tenants_[job.tenant].model.kernels.size()) {
+      if (!stopped_) ++m.batches_completed;
+      rotate_be(job);
+    }
+  } else if (job.cursor >= tenants_[job.tenant].model.kernels.size()) {
+    const TenantId tenant = job.tenant;
+    const TimeNs arrival = job.arrival;
+    // Erase before re-admitting: admit() push_backs into the deque,
+    // which would invalidate `it`.
+    jobs_.erase(it);
+    complete_ls_job(tenant, arrival);
   }
   poke();
 }
 
-void ServingSim::evict_be() {
-  SGDRC_REQUIRE(be_in_flight_, "no BE kernel to evict");
-  if (be_evicting_) return;
-  be_evicting_ = true;
-  ++metrics_.be[be_current_].evictions;
-  exec_->evict(be_launch_, [this](GpuExecutor::LaunchId, TimeNs) {
-    // Progress lost; the cursor stays on the same kernel (§7.1 restart).
-    be_in_flight_ = false;
-    be_evicting_ = false;
-    metrics_.be_busy_ns += now() - be_started_;
-    poke();
-  });
+void ServingSim::complete_ls_job(TenantId tenant, TimeNs arrival) {
+  if (!stopped_) metrics_.record_latency(tenant, arrival, now());
+  // Hand the instance to the next queued request.
+  if (!backlog_[tenant].empty()) {
+    const TimeNs queued = backlog_[tenant].front();
+    backlog_[tenant].pop_front();
+    admit(tenant, queued);
+  } else {
+    ++free_instances_[tenant];
+  }
+}
+
+void ServingSim::rotate_be(Job& job) {
+  job.cursor = 0;  // the batch loop restarts
+  if (cfg_.be_mode == BeMode::kRoundRobin) {
+    be_resident_ = (be_resident_ + 1) % be_tenants_.size();
+  }
+}
+
+void ServingSim::evict(JobId id) {
+  Job* job = job_ptr(id);
+  SGDRC_REQUIRE(job != nullptr, "unknown job");
+  SGDRC_REQUIRE(job->in_flight, "no in-flight kernel to evict");
+  if (job->evicting) return;
+  job->evicting = true;
+  ++metrics_.tenants[job->tenant].evictions;
+  const QosClass qos = qos_of(*job);
+  exec_->evict(job->launch_id,
+               [this, id, qos](GpuExecutor::LaunchId, TimeNs) {
+                 // Progress lost; the cursor stays on the same kernel
+                 // (§7.1 restart).
+                 Job* j = job_ptr(id);
+                 SGDRC_CHECK(j != nullptr, "eviction for unknown job");
+                 j->in_flight = false;
+                 j->evicting = false;
+                 note_inflight(qos, -1);
+                 poke();
+               });
 }
 
 void ServingSim::poke_at(TimeNs t) {

@@ -1,17 +1,21 @@
-// The serving simulation: LS clients replaying a trace against per-model
-// instance pools, one closed-loop BE task rotating round-robin over the
-// BE models (§9.2's testing scenario), all over the kernel-level executor.
+// The serving simulation: a set of tenants — open-loop latency-sensitive
+// services replaying a trace against per-tenant instance pools, and
+// closed-loop best-effort batch tasks — multiplexed over the
+// kernel-level executor. Best-effort tenants either rotate round-robin
+// (§9.2's testing scenario: one BE task resident at a time) or run
+// concurrently (N-way colocation).
 //
 // Scheduling decisions are delegated to a Policy — SGDRC and every
 // baseline of Fig. 17 implement this interface, so all systems run on
-// exactly the same substrate and workload.
+// exactly the same substrate and workload. Policies see one unified
+// JobView API regardless of QoS class and act through
+// launch(JobId, LaunchSpec) / evict(JobId).
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <functional>
-#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,9 +24,14 @@
 #include "gpusim/gpu_spec.h"
 #include "models/model.h"
 #include "workload/metrics.h"
+#include "workload/tenant.h"
 #include "workload/trace.h"
 
 namespace sgdrc::core {
+
+using workload::JobId;
+using workload::QosClass;
+using workload::TenantId;
 
 class ServingSim;
 
@@ -36,13 +45,33 @@ class Policy {
   virtual void schedule(ServingSim& sim) = 0;
 };
 
-struct LsServiceSpec {
+/// One workload sharing the GPU: an LS service or a BE batch task.
+struct TenantSpec {
+  QosClass qos = QosClass::kBestEffort;
   models::ModelDesc model;     // possibly SPT-transformed
-  TimeNs isolated_latency = 0; // untransformed isolated p99 (SLO base)
+  /// LS only: untransformed isolated p99 (SLO base).
+  TimeNs isolated_latency = 0;
+  /// LS only: instance-pool size; 0 ⇒ ServingConfig::ls_instances.
+  unsigned instances = 0;
 };
 
-struct BeTaskSpec {
-  models::ModelDesc model;
+inline TenantSpec latency_sensitive_tenant(models::ModelDesc model,
+                                           TimeNs isolated_latency,
+                                           unsigned instances = 0) {
+  return {QosClass::kLatencySensitive, std::move(model), isolated_latency,
+          instances};
+}
+inline TenantSpec best_effort_tenant(models::ModelDesc model) {
+  return {QosClass::kBestEffort, std::move(model), 0, 0};
+}
+
+/// How best-effort tenants share the GPU among themselves.
+enum class BeMode {
+  /// §9.2: one BE tenant resident at a time, rotating at batch
+  /// boundaries — policies see at most one BE job.
+  kRoundRobin,
+  /// Every BE tenant has its own always-on job; policies arbitrate.
+  kConcurrent,
 };
 
 struct ServingConfig {
@@ -50,117 +79,191 @@ struct ServingConfig {
   gpusim::ExecutorParams exec_params;
   unsigned ls_instances = 4;   // §9.2: 4 instances per LS model
   TimeNs duration = 2 * kNsPerSec;
-  /// SLO = slo_multiplier × isolated p99; 0 ⇒ #LS + #BE services (§9.2).
+  /// SLO = slo_multiplier × isolated p99; 0 ⇒ #tenants concurrently on
+  /// the GPU (#LS + 1 rotating BE slot, or #LS + #BE when concurrent).
   double slo_multiplier = 0.0;
+  BeMode be_mode = BeMode::kRoundRobin;
+};
+
+/// Resource allocation for one kernel launch. Zero means "all" for both
+/// fields (monopolisation).
+struct LaunchSpec {
+  gpusim::TpcMask tpc_mask = 0;
+  gpusim::ChannelSet channels = 0;
 };
 
 class ServingSim {
  public:
-  using JobId = uint64_t;
-
-  ServingSim(ServingConfig cfg, std::vector<LsServiceSpec> ls,
-             std::vector<BeTaskSpec> be, Policy& policy);
+  ServingSim(ServingConfig cfg, std::vector<TenantSpec> tenants,
+             Policy& policy);
 
   /// Replay the trace; returns the metrics after `duration`.
   workload::ServingMetrics run(const std::vector<workload::Request>& trace);
 
   // ------------------------------------------------- policy read API ----
   const gpusim::GpuSpec& spec() const { return cfg_.spec; }
+  const ServingConfig& config() const { return cfg_; }
   gpusim::GpuExecutor& exec() { return *exec_; }
   TimeNs now() const { return queue_.now(); }
 
-  struct LsJobView {
+  struct JobView {
     JobId id;
-    unsigned service;
+    TenantId tenant;
+    QosClass qos;
     TimeNs arrival;
-    const gpusim::KernelDesc* next_kernel;  // null when in flight
-    bool in_flight;
-  };
-  /// Admitted LS jobs in arrival order (both waiting and in-flight).
-  std::vector<LsJobView> ls_jobs() const;
-  /// Waiting LS jobs only (next kernel launchable now), arrival order.
-  std::vector<LsJobView> waiting_ls_jobs() const;
-  size_t ls_inflight() const { return ls_inflight_; }
-  /// The next `window` kernels of waiting LS jobs — the tidal scheduler's
-  /// sliding window (§7.1).
-  std::vector<const gpusim::KernelDesc*> upcoming_ls_kernels(
-      size_t window) const;
-
-  struct BeView {
-    unsigned task;          // index into the BE rotation
     const gpusim::KernelDesc* next_kernel;  // null when in flight
     bool in_flight;
     bool evicting;
   };
-  BeView be_state() const;
-  bool has_be() const { return !be_.empty(); }
+  /// Every visible job, LS before BE, each class in arrival order. In
+  /// round-robin mode only the resident BE tenant's job is visible.
+  std::vector<JobView> jobs() const;
+  /// Visible jobs of one class, arrival order.
+  std::vector<JobView> jobs(QosClass qos) const;
+  /// Waiting jobs of one class (next kernel launchable now).
+  std::vector<JobView> waiting_jobs(QosClass qos) const;
+  /// Look a job up by id — e.g. classify a RunningInfo by its tag.
+  std::optional<JobView> find_job(JobId id) const;
+  /// In-flight kernels of one class.
+  size_t inflight(QosClass qos) const;
+  /// The next `window` kernels of waiting jobs of `qos` — the tidal
+  /// scheduler's sliding window (§7.1).
+  std::vector<const gpusim::KernelDesc*> upcoming_kernels(
+      QosClass qos, size_t window) const;
 
-  size_t ls_services() const { return ls_.size(); }
-  const models::ModelDesc& ls_model(unsigned service) const {
-    return ls_[service].model;
-  }
-  const models::ModelDesc& be_model(unsigned task) const {
-    return be_[task].model;
+  size_t tenant_count() const { return tenants_.size(); }
+  size_t tenant_count(QosClass qos) const;
+  bool has_class(QosClass qos) const { return tenant_count(qos) > 0; }
+  const TenantSpec& tenant(TenantId t) const { return tenants_.at(t); }
+  const models::ModelDesc& tenant_model(TenantId t) const {
+    return tenants_.at(t).model;
   }
 
   // ------------------------------------------------ policy write API ----
-  /// Launch the next kernel of a waiting LS job. channels==0 ⇒ all.
-  /// For non-memory-bound kernels the channel restriction is ignored
-  /// (only memory-bound tensors are colored, §7.2).
-  void launch_ls(JobId id, gpusim::TpcMask mask, gpusim::ChannelSet channels);
+  /// Launch the next kernel of a waiting job. For non-memory-bound
+  /// kernels the channel restriction is ignored (only memory-bound
+  /// tensors are colored, §7.2).
+  void launch(JobId id, LaunchSpec spec);
 
-  /// Launch the BE task's next kernel.
-  void launch_be(gpusim::TpcMask mask, gpusim::ChannelSet channels);
-
-  /// Preempt the in-flight BE kernel via the eviction flag (§7.1). The
-  /// kernel restarts from scratch at the next launch_be().
-  void evict_be();
+  /// Preempt the job's in-flight kernel via the eviction flag (§7.1).
+  /// Restart-from-scratch semantics: progress is lost and the job's
+  /// cursor stays on the same kernel until the next launch(). Only
+  /// preemptible (best-effort) kernels accept this.
+  void evict(JobId id);
 
   /// Schedule a future policy wake-up (policies with timed behaviour,
   /// e.g. TGS's container switching).
   void poke_at(TimeNs t);
 
  private:
-  struct LsJob {
-    JobId id;
-    unsigned service;
-    TimeNs arrival;
+  struct Job {
+    JobId id = 0;
+    TenantId tenant = 0;
+    TimeNs arrival = 0;
     size_t cursor = 0;
     bool in_flight = false;
+    bool evicting = false;
+    gpusim::GpuExecutor::LaunchId launch_id = 0;
   };
 
+  QosClass qos_of(const Job& j) const { return tenants_[j.tenant].qos; }
+  bool visible(const Job& j) const;
+  JobView view_of(const Job& j) const;
+  Job* job_ptr(JobId id);
+  const Job* job_ptr(JobId id) const;
+
   void arrive(const workload::Request& r);
-  void admit(unsigned service, TimeNs arrival);
-  void finish_ls_kernel(JobId id);
-  void finish_be_kernel();
+  void admit(TenantId tenant, TimeNs arrival);
+  void finish_kernel(JobId id);
+  void complete_ls_job(TenantId tenant, TimeNs arrival);
+  void rotate_be(Job& job);
+  void note_inflight(QosClass qos, int delta);
   void poke();
 
   ServingConfig cfg_;
-  std::vector<LsServiceSpec> ls_;
-  std::vector<BeTaskSpec> be_;
+  std::vector<TenantSpec> tenants_;
   Policy& policy_;
 
   EventQueue queue_;
   std::unique_ptr<gpusim::GpuExecutor> exec_;
   workload::ServingMetrics metrics_;
 
-  std::deque<LsJob> jobs_;                     // admitted LS jobs
-  std::vector<unsigned> free_instances_;       // per service
-  std::vector<std::deque<TimeNs>> backlog_;    // queued arrivals per service
-  size_t ls_inflight_ = 0;
+  std::deque<Job> jobs_;                 // BE loops first, then LS jobs
+  std::vector<TenantId> ls_tenants_;     // trace service index → tenant
+  std::vector<TenantId> be_tenants_;     // rotation order
+  size_t be_resident_ = 0;               // round-robin position
+  std::vector<unsigned> free_instances_; // per tenant (LS slots only)
+  std::vector<std::deque<TimeNs>> backlog_;  // queued arrivals per tenant
+  size_t inflight_[2] = {0, 0};          // per QosClass
+  TimeNs busy_since_[2] = {0, 0};
   JobId next_job_ = 1;
-
-  unsigned be_current_ = 0;   // rotation position
-  size_t be_cursor_ = 0;      // kernel index within the current BE batch
-  TimeNs be_started_ = 0;     // busy-time accounting
-  TimeNs ls_busy_since_ = 0;
-  bool be_in_flight_ = false;
-  bool be_evicting_ = false;
-  gpusim::GpuExecutor::LaunchId be_launch_ = 0;
 
   bool in_schedule_ = false;
   bool repoke_ = false;
   bool stopped_ = false;
+};
+
+/// Fluent setup for a serving simulation, so drivers stop hand-assembling
+/// ServingConfig + TenantSpec vectors:
+///
+///   auto sim = ServingSimBuilder()
+///                  .gpu(gpusim::rtx_a2000())
+///                  .duration(1 * kNsPerSec)
+///                  .add_latency_sensitive(model_a, iso_a)
+///                  .add_best_effort(model_i)
+///                  .add_best_effort(model_j)
+///                  .best_effort_mode(BeMode::kConcurrent)
+///                  .build(policy);
+class ServingSimBuilder {
+ public:
+  ServingSimBuilder& gpu(const gpusim::GpuSpec& spec) {
+    cfg_.spec = spec;
+    return *this;
+  }
+  ServingSimBuilder& executor_params(const gpusim::ExecutorParams& p) {
+    cfg_.exec_params = p;
+    return *this;
+  }
+  ServingSimBuilder& duration(TimeNs d) {
+    cfg_.duration = d;
+    return *this;
+  }
+  ServingSimBuilder& default_ls_instances(unsigned n) {
+    cfg_.ls_instances = n;
+    return *this;
+  }
+  ServingSimBuilder& slo_multiplier(double n) {
+    cfg_.slo_multiplier = n;
+    return *this;
+  }
+  ServingSimBuilder& best_effort_mode(BeMode mode) {
+    cfg_.be_mode = mode;
+    return *this;
+  }
+  ServingSimBuilder& add_tenant(TenantSpec spec) {
+    tenants_.push_back(std::move(spec));
+    return *this;
+  }
+  ServingSimBuilder& add_latency_sensitive(models::ModelDesc model,
+                                           TimeNs isolated_latency,
+                                           unsigned instances = 0) {
+    return add_tenant(latency_sensitive_tenant(std::move(model),
+                                               isolated_latency, instances));
+  }
+  ServingSimBuilder& add_best_effort(models::ModelDesc model) {
+    return add_tenant(best_effort_tenant(std::move(model)));
+  }
+
+  /// The sim keeps a reference to `policy`; both must outlive run().
+  /// (unique_ptr because the sim's executor holds a reference into the
+  /// sim-owned event queue — the sim must not move.)
+  std::unique_ptr<ServingSim> build(Policy& policy) const {
+    return std::make_unique<ServingSim>(cfg_, tenants_, policy);
+  }
+
+ private:
+  ServingConfig cfg_;
+  std::vector<TenantSpec> tenants_;
 };
 
 }  // namespace sgdrc::core

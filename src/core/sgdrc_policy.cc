@@ -30,42 +30,51 @@ SgdrcPolicy::SgdrcPolicy(const gpusim::GpuSpec& spec, SgdrcOptions opt)
 }
 
 void SgdrcPolicy::schedule(ServingSim& sim) {
-  const auto waiting = sim.waiting_ls_jobs();
-  const bool ls_active = !waiting.empty() || sim.ls_inflight() > 0;
-  const bool be_present = sim.has_be();
-  const auto be = be_present ? sim.be_state()
-                             : ServingSim::BeView{0, nullptr, false, false};
+  const auto waiting = sim.waiting_jobs(QosClass::kLatencySensitive);
+  const bool ls_active =
+      !waiting.empty() || sim.inflight(QosClass::kLatencySensitive) > 0;
 
   if (ls_active) last_ls_activity_ = sim.now();
 
-  // Snapshot current occupancy.
+  // Snapshot current occupancy; classify running kernels by the QoS class
+  // of the job behind each launch tag.
+  struct BeRun {
+    JobId job;
+    TpcMask mask;
+    bool monopolising;
+    bool evicting;
+  };
   TpcMask ls_used = 0;
   TpcMask be_mask_running = 0;
-  bool be_monopolising = false;
-  bool be_kernel_memory_bound = false;
+  bool be_memory_bound_in_flight = false;
+  std::vector<BeRun> be_runs;
   for (const auto& info : sim.exec().running_infos()) {
-    if (info.tag == ~uint64_t{0}) {
-      be_mask_running =
+    const auto job = sim.find_job(info.tag);
+    if (job && job->qos == QosClass::kBestEffort) {
+      const TpcMask mask =
           info.tpc_mask ? info.tpc_mask : gpusim::full_tpc_mask(num_tpcs_);
-      be_kernel_memory_bound = info.kernel->memory_bound;
+      be_mask_running |= mask;
+      be_memory_bound_in_flight |= info.kernel->memory_bound;
       // Only memory-bound BE kernels have a channel mode to fix; others
       // always run with default mapping and need no channel eviction.
-      be_monopolising = info.channels == 0 && info.kernel->memory_bound;
+      const bool monopolising =
+          info.channels == 0 && info.kernel->memory_bound;
+      be_runs.push_back({job->id, mask, monopolising, job->evicting});
     } else {
       ls_used |= info.tpc_mask;
     }
   }
 
   // ---- LS side: pack co-executing LS kernels into disjoint SM_LS
-  // slices (Fig. 13b), preferring idle TPCs; TPCs the BE kernel occupies
+  // slices (Fig. 13b), preferring idle TPCs; TPCs a BE kernel occupies
   // are claimed only under pressure — that is the preemption case
   // (eviction flag, Fig. 13a).
-  bool need_eviction = ls_active && be_monopolising;
+  TpcMask claimed_from_be = 0;
   if (!waiting.empty()) {
     // Bimodal tensors (Fig. 14): LS memory-bound kernels shift to the
     // (1−ChBE) channel partition only while a memory-bound BE kernel
     // shares the GPU; compute-bound BE kernels pose no channel conflict.
-    const bool colocated = be.in_flight && be_kernel_memory_bound;
+    const bool colocated = be_memory_bound_in_flight;
     size_t launched = 0;
     for (const auto& job : waiting) {
       if (launched >= opt_.sliding_window) break;
@@ -88,32 +97,40 @@ void SgdrcPolicy::schedule(ServingSim& sim) {
         if ((ls_used & bit) || !(be_mask_running & bit)) continue;
         mask |= bit;
         ++got;
-        need_eviction = true;
+        claimed_from_be |= bit;
       }
       if (got == 0) break;  // everything is held by other LS kernels
       ls_used |= mask;
-      sim.launch_ls(job.id, mask, colocated ? ls_channels_ : 0);
+      sim.launch(job.id, {mask, colocated ? ls_channels_ : 0});
       ++launched;
     }
   }
 
-  // Promotion: when LS has drained but the BE kernel is still running in
-  // colocation mode (narrow mask / ChBE channels), restart it with the
-  // full GPU — the monopolisation transition of Fig. 14c→d. A short
-  // grace period avoids thrashing on sub-200us LS gaps.
-  if (!need_eviction && be.in_flight && !be.evicting && !ls_active) {
-    const bool colocated_mode =
-        be_mask_running != gpusim::full_tpc_mask(num_tpcs_);
-    if (colocated_mode &&
-        sim.now() >= last_ls_activity_ + 200 * kNsPerUs) {
-      need_eviction = true;
-    } else if (colocated_mode) {
-      sim.poke_at(last_ls_activity_ + 200 * kNsPerUs);
+  // Evict BE kernels that (a) monopolise the channels while LS runs, or
+  // (b) hold TPCs an LS kernel just claimed (Fig. 13a's preemption).
+  for (const auto& run : be_runs) {
+    if (run.evicting) continue;
+    if ((ls_active && run.monopolising) || (run.mask & claimed_from_be)) {
+      sim.evict(run.job);
     }
   }
 
-  if (be.in_flight && !be.evicting && need_eviction) {
-    sim.evict_be();
+  // Promotion: when LS has drained but a BE kernel is still running in
+  // colocation mode (narrow mask / ChBE channels), restart it with the
+  // full GPU — the monopolisation transition of Fig. 14c→d. A short
+  // grace period avoids thrashing on sub-200us LS gaps.
+  if (!ls_active && claimed_from_be == 0) {
+    for (const auto& run : be_runs) {
+      if (run.evicting) continue;
+      const bool colocated_mode =
+          run.mask != gpusim::full_tpc_mask(num_tpcs_);
+      if (!colocated_mode) continue;
+      if (sim.now() >= last_ls_activity_ + 200 * kNsPerUs) {
+        sim.evict(run.job);
+      } else {
+        sim.poke_at(last_ls_activity_ + 200 * kNsPerUs);
+      }
+    }
   }
 
   // ---- Sliding-window SM reservation (§7.1): the BE mask keeps clear of
@@ -123,7 +140,8 @@ void SgdrcPolicy::schedule(ServingSim& sim) {
   // recent concurrent LS usage: it rises instantly and decays one TPC
   // per decay interval.
   unsigned window_need = 1;
-  for (const auto* k : sim.upcoming_ls_kernels(opt_.sliding_window)) {
+  for (const auto* k : sim.upcoming_kernels(QosClass::kLatencySensitive,
+                                            opt_.sliding_window)) {
     window_need = std::max(window_need, std::max(1u, k->min_tpcs));
   }
   window_need = std::max(window_need, gpusim::tpc_count(ls_used));
@@ -138,21 +156,22 @@ void SgdrcPolicy::schedule(ServingSim& sim) {
     last_decay_ = sim.now();
   }
 
-  // ---- BE side: fill the tide pool. ----
-  if (be_present && !be.in_flight) {
+  // ---- BE side: fill the tide pool. All waiting BE jobs (one under
+  // round-robin rotation, every tenant in concurrent mode) share it.
+  for (const auto& job : sim.waiting_jobs(QosClass::kBestEffort)) {
     if (!ls_active) {
       // Monopolisation state (§7.2a): the LS kernel queue is empty, so
       // the BE kernel takes the whole GPU and — through its all-channel
       // bimodal tensor copies — the full VRAM bandwidth (Fig. 14a/d).
       // When LS returns it preempts via the eviction flag (Fig. 13a).
-      sim.launch_be(0, 0);
+      sim.launch(job.id, {0, 0});
     } else {
       const TpcMask reserved =
           gpusim::tpc_range(num_tpcs_ - ls_reserve_, ls_reserve_);
       const TpcMask free =
           gpusim::full_tpc_mask(num_tpcs_) & ~ls_used & ~reserved;
       if (free) {
-        sim.launch_be(free, be_channels_);
+        sim.launch(job.id, {free, be_channels_});
       }
       // else: LS holds every TPC; the next completion re-schedules us.
     }
@@ -172,9 +191,10 @@ void SgdrcStaticPolicy::schedule(ServingSim& sim) {
   // fixed LS half, BE keeps its half; no tide, no preemption.
   TpcMask ls_used = 0;
   for (const auto& info : sim.exec().running_infos()) {
-    if (info.tag != ~uint64_t{0}) ls_used |= info.tpc_mask;
+    const auto job = sim.find_job(info.tag);
+    if (!job || job->qos != QosClass::kBestEffort) ls_used |= info.tpc_mask;
   }
-  for (const auto& job : sim.waiting_ls_jobs()) {
+  for (const auto& job : sim.waiting_jobs(QosClass::kLatencySensitive)) {
     const TpcMask free = ls_mask_ & ~ls_used;
     if (!free) break;
     const unsigned need = std::max(1u, job.next_kernel->min_tpcs);
@@ -187,10 +207,10 @@ void SgdrcStaticPolicy::schedule(ServingSim& sim) {
       ++got;
     }
     ls_used |= mask;
-    sim.launch_ls(job.id, mask, ls_channels_);
+    sim.launch(job.id, {mask, ls_channels_});
   }
-  if (sim.has_be() && !sim.be_state().in_flight) {
-    sim.launch_be(be_mask_, be_channels_);
+  for (const auto& job : sim.waiting_jobs(QosClass::kBestEffort)) {
+    sim.launch(job.id, {be_mask_, be_channels_});
   }
 }
 

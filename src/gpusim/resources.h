@@ -22,8 +22,10 @@ constexpr unsigned channel_count(ChannelSet s) {
   return static_cast<unsigned>(std::popcount(s));
 }
 inline ChannelSet all_channels(unsigned num_channels) {
-  SGDRC_REQUIRE(num_channels > 0 && num_channels < 32,
+  SGDRC_REQUIRE(num_channels > 0 && num_channels <= 32,
                 "channel count out of range");
+  // A full-width shift is UB; the 32-channel mask is all ones.
+  if (num_channels >= 32) return ~ChannelSet{0};
   return (ChannelSet{1} << num_channels) - 1;
 }
 inline std::string channel_set_to_string(ChannelSet s) {
@@ -49,13 +51,18 @@ constexpr unsigned tpc_count(TpcMask m) {
   return static_cast<unsigned>(std::popcount(m));
 }
 inline TpcMask full_tpc_mask(unsigned num_tpcs) {
-  SGDRC_REQUIRE(num_tpcs > 0 && num_tpcs < 64, "TPC count out of range");
+  SGDRC_REQUIRE(num_tpcs > 0 && num_tpcs <= 64, "TPC count out of range");
+  // A full-width shift is UB; the 64-TPC mask is all ones.
+  if (num_tpcs >= 64) return ~TpcMask{0};
   return (TpcMask{1} << num_tpcs) - 1;
 }
 /// Mask of `count` TPCs starting at `first`.
 inline TpcMask tpc_range(unsigned first, unsigned count) {
   SGDRC_REQUIRE(first + count <= 64, "TPC range out of bounds");
-  return count == 0 ? 0 : ((TpcMask{1} << count) - 1) << first;
+  if (count == 0) return 0;
+  const TpcMask ones =
+      count >= 64 ? ~TpcMask{0} : (TpcMask{1} << count) - 1;
+  return ones << first;
 }
 
 }  // namespace sgdrc::gpusim

@@ -1,7 +1,9 @@
-// Serving metrics (§9.2): per-LS-service latency distributions, SLO
-// attainment (SLO = n × p99 isolated runtime, n = co-running services),
-// LS goodput (requests finishing within SLO per second), BE throughput
-// (samples/s), and the combined "overall throughput" of Fig. 17c.
+// Serving metrics (§9.2), keyed by TenantId: per-LS-tenant latency
+// distributions, SLO attainment (SLO = n × p99 isolated runtime, n =
+// co-running services), LS goodput (requests finishing within SLO per
+// second), per-BE-tenant throughput (samples/s), and the combined
+// "overall throughput" of Fig. 17c. One TenantMetrics slot carries both
+// metric families; the QoS class says which one is live.
 #pragma once
 
 #include <cstdint>
@@ -11,12 +13,17 @@
 #include "common/error.h"
 #include "common/sim_time.h"
 #include "common/stats.h"
+#include "workload/tenant.h"
 
 namespace sgdrc::workload {
 
-struct LsServiceMetrics {
+struct TenantMetrics {
+  TenantId id = 0;
+  QosClass qos = QosClass::kBestEffort;
   std::string name;
   char letter = '?';
+
+  // ---- latency-sensitive family ----
   TimeNs isolated_p99 = 0;  // profiled isolated runtime
   TimeNs slo = 0;           // n × isolated_p99 (§9.2)
   Samples latency;          // end-to-end incl. queueing (ns)
@@ -32,11 +39,8 @@ struct LsServiceMetrics {
   double p99_ms() const {
     return latency.empty() ? 0.0 : to_ms(static_cast<TimeNs>(latency.p99()));
   }
-};
 
-struct BeTaskMetrics {
-  std::string name;
-  char letter = '?';
+  // ---- best-effort family ----
   unsigned batch = 1;
   uint64_t batches_completed = 0;
   uint64_t kernels_done = 0;       // kernel-granularity progress
@@ -53,15 +57,31 @@ struct BeTaskMetrics {
 };
 
 struct ServingMetrics {
-  std::vector<LsServiceMetrics> ls;
-  std::vector<BeTaskMetrics> be;
+  std::vector<TenantMetrics> tenants;  // indexed by TenantId
   TimeNs duration = 0;
   TimeNs ls_busy_ns = 0;  // wall time with ≥1 LS kernel in flight
-  TimeNs be_busy_ns = 0;  // wall time with a BE kernel in flight
+  TimeNs be_busy_ns = 0;  // wall time with ≥1 BE kernel in flight
 
-  void record_ls(unsigned service, TimeNs arrival, TimeNs completion) {
-    SGDRC_REQUIRE(service < ls.size(), "unknown LS service");
-    auto& m = ls[service];
+  /// Tenants of one class, in TenantId order (stable across runs of the
+  /// same spec list, so results can be joined tenant-by-tenant).
+  std::vector<const TenantMetrics*> of_class(QosClass c) const {
+    std::vector<const TenantMetrics*> out;
+    for (const auto& t : tenants) {
+      if (t.qos == c) out.push_back(&t);
+    }
+    return out;
+  }
+  size_t count(QosClass c) const {
+    size_t n = 0;
+    for (const auto& t : tenants) n += t.qos == c;
+    return n;
+  }
+
+  void record_latency(TenantId t, TimeNs arrival, TimeNs completion) {
+    SGDRC_REQUIRE(t < tenants.size(), "unknown tenant");
+    auto& m = tenants[t];
+    SGDRC_REQUIRE(m.qos == QosClass::kLatencySensitive,
+                  "latency recorded for a non-LS tenant");
     const TimeNs lat = completion - arrival;
     m.latency.add(static_cast<double>(lat));
     ++m.served;
@@ -70,22 +90,30 @@ struct ServingMetrics {
 
   double ls_goodput() const {  // attained requests / s
     uint64_t ok = 0;
-    for (const auto& m : ls) ok += m.attained;
+    for (const auto& m : tenants) {
+      if (m.qos == QosClass::kLatencySensitive) ok += m.attained;
+    }
     return static_cast<double>(ok) / to_sec(duration);
   }
   double be_throughput() const {  // samples / s
     double n = 0;
-    for (const auto& m : be) n += m.samples();
+    for (const auto& m : tenants) {
+      if (m.qos == QosClass::kBestEffort) n += m.samples();
+    }
     return n / to_sec(duration);
   }
   double overall_throughput() const {
     return ls_goodput() + be_throughput();
   }
   double mean_attainment() const {
-    if (ls.empty()) return 1.0;
     double s = 0.0;
-    for (const auto& m : ls) s += m.attainment();
-    return s / static_cast<double>(ls.size());
+    size_t n = 0;
+    for (const auto& m : tenants) {
+      if (m.qos != QosClass::kLatencySensitive) continue;
+      s += m.attainment();
+      ++n;
+    }
+    return n ? s / static_cast<double>(n) : 1.0;
   }
 };
 

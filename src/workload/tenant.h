@@ -1,0 +1,31 @@
+// Tenant vocabulary shared by the workload metrics and the serving
+// engine: every co-located workload — a latency-sensitive service or a
+// best-effort batch task — is a tenant with a QoS class. The scheduler
+// API (core/serving.h) and the metrics (workload/metrics.h) are both
+// keyed by TenantId, so N-way colocations are first-class rather than a
+// hardcoded LS/BE pair.
+#pragma once
+
+#include <cstdint>
+
+namespace sgdrc::workload {
+
+/// Dense index of a tenant within one serving simulation (assignment
+/// order of the TenantSpec list; also the index into
+/// ServingMetrics::tenants).
+using TenantId = uint32_t;
+
+/// Identifies one job — an admitted LS request or a BE batch loop —
+/// within one serving simulation. Unique across tenants and classes.
+using JobId = uint64_t;
+
+enum class QosClass : uint8_t {
+  kLatencySensitive,  // open-loop, SLO-bound (Tab. 3 models A..H)
+  kBestEffort,        // closed-loop, throughput-oriented (models I..K)
+};
+
+constexpr const char* qos_name(QosClass c) {
+  return c == QosClass::kLatencySensitive ? "LS" : "BE";
+}
+
+}  // namespace sgdrc::workload

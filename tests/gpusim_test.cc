@@ -14,6 +14,7 @@
 #include "gpusim/l2cache.h"
 #include "gpusim/mem_system.h"
 #include "gpusim/page_table.h"
+#include "gpusim/resources.h"
 
 namespace sgdrc::gpusim {
 namespace {
@@ -391,6 +392,26 @@ TEST(GpuDevice, OracleStableWithinProcess) {
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(d.pa_of(va), pa);
   }
+}
+
+TEST(Resources, FullWidthMasksAreAllOnes) {
+  // 32-channel / 64-TPC parts must not trip the 1<<width UB; the helpers
+  // return the all-ones mask instead.
+  EXPECT_EQ(all_channels(32), ~ChannelSet{0});
+  EXPECT_EQ(channel_count(all_channels(32)), 32u);
+  EXPECT_EQ(full_tpc_mask(64), ~TpcMask{0});
+  EXPECT_EQ(tpc_count(full_tpc_mask(64)), 64u);
+  EXPECT_EQ(tpc_range(0, 64), ~TpcMask{0});
+  // Smaller widths keep their exact semantics.
+  EXPECT_EQ(all_channels(6), 0x3Fu);
+  EXPECT_EQ(full_tpc_mask(30), (TpcMask{1} << 30) - 1);
+  EXPECT_EQ(tpc_range(4, 2), TpcMask{0x30});
+  EXPECT_EQ(tpc_range(10, 0), TpcMask{0});
+  // Out-of-range widths are still rejected.
+  EXPECT_THROW(all_channels(0), ConfigError);
+  EXPECT_THROW(all_channels(33), ConfigError);
+  EXPECT_THROW(full_tpc_mask(65), ConfigError);
+  EXPECT_THROW(tpc_range(60, 5), ConfigError);
 }
 
 }  // namespace

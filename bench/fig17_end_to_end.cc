@@ -7,10 +7,19 @@
 // run SPT-transformed kernels (and pay the §9.1.2 overhead). MPS is
 // reported on both GPUs here even though the real P40 no longer supports
 // it (the paper omits it there).
+//
+//   ./fig17_end_to_end [--quick] [--json BENCH_fig17.json]
+//
+// --quick shrinks the run for CI smoke (one GPU, short window); --json
+// emits every scenario machine-readably (the BENCH_fig17.json artifact).
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <memory>
+#include <string>
 
 #include "baselines/baseline_policies.h"
+#include "common/json.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "core/harness.h"
@@ -24,6 +33,12 @@ namespace {
 struct SystemResult {
   std::string name;
   workload::ServingMetrics metrics;
+};
+
+struct ScenarioResult {
+  std::string gpu;
+  bool heavy = false;
+  std::vector<SystemResult> systems;
 };
 
 std::vector<SystemResult> run_all(const ServingHarness& h,
@@ -67,7 +82,8 @@ std::vector<SystemResult> run_all(const ServingHarness& h,
   return out;
 }
 
-void run_scenario(const gpusim::GpuSpec& spec, bool heavy) {
+ScenarioResult run_scenario(const gpusim::GpuSpec& spec, bool heavy,
+                            TimeNs duration) {
   std::printf("\n==== %s — %s workload ====\n", spec.name.c_str(),
               heavy ? "heavy" : "light");
   HarnessOptions o;
@@ -75,7 +91,7 @@ void run_scenario(const gpusim::GpuSpec& spec, bool heavy) {
   o.utilization = 1.45;
   o.load_scale = heavy ? 1.0 : 0.5;  // §9.2: light = half the rate
   o.burstiness = 0.35;
-  o.duration = 2 * kNsPerSec;
+  o.duration = duration;
   o.seed = 0xf17;
   const ServingHarness h(o);
   const auto results = run_all(h, spec);
@@ -118,16 +134,78 @@ void run_scenario(const gpusim::GpuSpec& spec, bool heavy) {
     }
     t.print();
   }
+  return {spec.name, heavy, results};
+}
+
+void emit_json(const std::string& path,
+               const std::vector<ScenarioResult>& scenarios,
+               TimeNs duration, bool quick) {
+  std::ofstream os(path);
+  SGDRC_REQUIRE(os.good(), "cannot open JSON output path");
+  JsonWriter j(os);
+  j.begin_object();
+  j.kv("bench", "fig17_end_to_end");
+  j.kv("quick", quick);
+  j.kv("duration_ms", to_ms(duration));
+  j.key("scenarios").begin_array();
+  for (const auto& sc : scenarios) {
+    j.begin_object();
+    j.kv("gpu", sc.gpu);
+    j.kv("load", sc.heavy ? "heavy" : "light");
+    j.key("systems").begin_array();
+    for (const auto& r : sc.systems) {
+      const auto& m = r.metrics;
+      j.begin_object();
+      j.kv("name", r.name);
+      j.kv("slo_attainment", m.mean_attainment());
+      j.kv("ls_goodput_per_s", m.ls_goodput());
+      j.kv("be_samples_per_s", m.be_throughput());
+      j.kv("overall_per_s", m.overall_throughput());
+      j.key("p99_ms").begin_object();
+      for (const auto* t :
+           m.of_class(workload::QosClass::kLatencySensitive)) {
+        j.kv(std::string(1, t->letter), t->p99_ms());
+      }
+      j.end_object();
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::printf("wrote %s (%zu scenarios)\n", path.c_str(), scenarios.size());
 }
 
 }  // namespace
 
-int main() {
-  std::printf("Fig. 17 — end-to-end evaluation (6 systems, 2 GPUs, 2 loads)\n");
-  for (const auto& spec : {gpusim::tesla_p40(), gpusim::rtx_a2000()}) {
-    run_scenario(spec, /*heavy=*/true);
-    run_scenario(spec, /*heavy=*/false);
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--json PATH]\n", argv[0]);
+      return 2;
+    }
   }
+  const TimeNs duration = quick ? 300 * kNsPerMs : 2 * kNsPerSec;
+  const auto gpus = quick
+                        ? std::vector<gpusim::GpuSpec>{gpusim::rtx_a2000()}
+                        : std::vector<gpusim::GpuSpec>{gpusim::tesla_p40(),
+                                                       gpusim::rtx_a2000()};
+  std::printf("Fig. 17 — end-to-end evaluation (6 systems, %zu GPU%s, "
+              "2 loads)\n",
+              gpus.size(), gpus.size() == 1 ? "" : "s");
+  std::vector<ScenarioResult> scenarios;
+  for (const auto& spec : gpus) {
+    scenarios.push_back(run_scenario(spec, /*heavy=*/true, duration));
+    scenarios.push_back(run_scenario(spec, /*heavy=*/false, duration));
+  }
+  if (!json_path.empty()) emit_json(json_path, scenarios, duration, quick);
   std::printf(
       "\nShape check (paper): SGDRC attains the highest SLO rate; its p99\n"
       "is comparable to or lower than Orion's; Multi-streaming buys\n"

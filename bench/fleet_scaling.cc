@@ -1,0 +1,280 @@
+// Fleet scaling: shard the Tab. 3 tenant mix across 1→8 simulated GPUs
+// and sweep placement {spread, pack} × routing {round-robin,
+// least-outstanding} × per-device resource control {SGDRC,
+// Multi-streaming}. Load scales with the fleet (per-device utilisation
+// held constant), so ideal scaling is linear goodput; the table shows
+// where placement/routing choices bend the curve and that SGDRC per
+// device beats the baseline fleet-wide at every size.
+//
+//   ./fleet_scaling [--quick] [--json BENCH_fleet.json]
+//
+// --quick shrinks the sweep for CI smoke runs; --json emits the full
+// result grid machine-readably (the BENCH_fleet.json artifact).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/baseline_policies.h"
+#include "common/json.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "core/harness.h"
+#include "core/sgdrc_policy.h"
+#include "fleet/fleet.h"
+
+using namespace sgdrc;
+using namespace sgdrc::fleet;
+
+namespace {
+
+struct RunSpec {
+  unsigned devices = 1;
+  std::string placement;  // "spread" | "pack" | "qos-aware"
+  std::string router;     // "round-robin" | "least-outstanding" | ...
+  std::string system;     // "SGDRC" | "Multi-streaming"
+};
+
+struct RunResult {
+  RunSpec spec;
+  FleetMetrics metrics;
+};
+
+std::unique_ptr<PlacementPolicy> make_placement(const std::string& name) {
+  if (name == "spread") return std::make_unique<SpreadPlacement>();
+  if (name == "pack") return std::make_unique<PackPlacement>();
+  if (name == "qos-aware") return std::make_unique<QosAwarePlacement>();
+  SGDRC_REQUIRE(false, "unknown placement");
+  return nullptr;
+}
+
+std::unique_ptr<Router> make_router(const std::string& name) {
+  if (name == "round-robin") return std::make_unique<RoundRobinRouter>();
+  if (name == "least-outstanding") {
+    return std::make_unique<LeastOutstandingRouter>();
+  }
+  if (name == "qos-load-aware") return std::make_unique<QosLoadAwareRouter>();
+  SGDRC_REQUIRE(false, "unknown router");
+  return nullptr;
+}
+
+/// One fleet tenant per harness model. LS tenants get ≥2 replicas (so
+/// routers have a choice) but fewer than the fleet size at 4+ GPUs (so
+/// placements differ — replicas == devices would pin every strategy to
+/// the same assignment).
+std::vector<FleetTenantSpec> make_tenants(const core::ServingHarness& h,
+                                          unsigned devices, bool spt) {
+  const unsigned replicas = std::max(2u, (devices + 1) / 2);
+  std::vector<FleetTenantSpec> out;
+  for (size_t i = 0; i < h.ls_count(); ++i) {
+    out.push_back(replicated(
+        core::latency_sensitive_tenant(
+            spt ? h.ls_model_spt(i) : h.ls_model(i), h.isolated_latency(i)),
+        replicas));
+  }
+  for (size_t i = 0; i < h.be_count(); ++i) {
+    out.push_back(replicated(
+        core::best_effort_tenant(spt ? h.be_model_spt(i) : h.be_model(i)),
+        replicas));
+  }
+  return out;
+}
+
+RunResult run_one(const core::ServingHarness& h, const RunSpec& spec,
+                  const std::vector<workload::Request>& trace,
+                  TimeNs duration) {
+  const bool sgdrc = spec.system == "SGDRC";
+  FleetConfig cfg;
+  cfg.spec = h.options().spec;
+  cfg.exec_params = h.options().exec_params;
+  cfg.devices = spec.devices;
+  cfg.duration = duration;
+  // Constant SLO across every fleet shape: n = LS tenants + one BE slot,
+  // as if the whole mix shared one GPU (the 1-device baseline).
+  cfg.slo_multiplier = static_cast<double>(h.ls_count() + 1);
+  cfg.seed = 0xf1ee7;
+  cfg.dispatch_latency = 2 * kNsPerUs;
+  cfg.dispatch_jitter = 3 * kNsPerUs;
+
+  const auto placement = make_placement(spec.placement);
+  const auto router = make_router(spec.router);
+  const PolicyFactory factory =
+      [sgdrc](const gpusim::GpuSpec& gs) -> std::unique_ptr<core::Policy> {
+    if (sgdrc) return std::make_unique<core::SgdrcPolicy>(gs);
+    return std::make_unique<baselines::MultiStreamPolicy>();
+  };
+  FleetSim sim(cfg, make_tenants(h, spec.devices, sgdrc), *placement,
+               *router, factory);
+  return {spec, sim.run(trace)};
+}
+
+/// Fleet-wide trace: total load scales with the device count so each
+/// size runs at the same per-device utilisation.
+std::vector<workload::Request> make_trace(const core::ServingHarness& h,
+                                          unsigned devices,
+                                          TimeNs duration) {
+  workload::TraceOptions topt;
+  topt.services = static_cast<unsigned>(h.ls_count());
+  topt.duration = duration;
+  topt.burstiness = h.options().burstiness;
+  topt.seed = 0xf1ee7 + devices;  // same trace for every config at a size
+  for (size_t i = 0; i < h.ls_count(); ++i) {
+    topt.per_service_rates.push_back(h.rate_for(i) *
+                                     static_cast<double>(devices));
+  }
+  return workload::generate_apollo_like_trace(topt);
+}
+
+void emit_json(const std::string& path, const std::vector<RunResult>& all,
+               TimeNs duration, bool quick) {
+  std::ofstream os(path);
+  SGDRC_REQUIRE(os.good(), "cannot open JSON output path");
+  JsonWriter j(os);
+  j.begin_object();
+  j.kv("bench", "fleet_scaling");
+  j.kv("quick", quick);
+  j.kv("duration_ms", to_ms(duration));
+  j.key("runs").begin_array();
+  for (const auto& r : all) {
+    const auto& m = r.metrics;
+    j.begin_object();
+    j.kv("devices", r.spec.devices);
+    j.kv("placement", r.spec.placement);
+    j.kv("router", r.spec.router);
+    j.kv("system", r.spec.system);
+    j.kv("slo_attainment", m.mean_attainment());
+    j.kv("ls_goodput_per_s", m.ls_goodput());
+    j.kv("be_samples_per_s", m.be_throughput());
+    j.kv("overall_per_s", m.overall_throughput());
+    j.kv("fleet_p99_ms", m.fleet_p99_ms());
+    j.kv("imbalance_cv", m.imbalance_cv());
+    j.kv("imbalance_max_over_mean", m.imbalance_max_over_mean());
+    j.key("routed_per_device").begin_array();
+    for (const uint64_t d : m.routed) j.value(d);
+    j.end_array();
+    j.key("ls_tenants").begin_array();
+    for (const auto& t : m.tenants) {
+      if (t.qos != workload::QosClass::kLatencySensitive) continue;
+      j.begin_object();
+      j.kv("letter", std::string(1, t.letter));
+      j.kv("p99_ms", t.p99_ms());
+      j.kv("attainment", t.attainment());
+      j.kv("served", t.served);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::printf("wrote %s (%zu runs)\n", path.c_str(), all.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--json PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  const TimeNs duration = quick ? 150 * kNsPerMs : 500 * kNsPerMs;
+  const std::vector<unsigned> device_counts =
+      quick ? std::vector<unsigned>{1, 2, 4} : std::vector<unsigned>{1, 2, 4, 8};
+
+  core::HarnessOptions o;
+  o.spec = gpusim::rtx_a2000();
+  o.ls_letters = "ABC";
+  o.be_letters = "IJ";
+  o.utilization = 0.8;
+  o.burstiness = 0.35;
+  o.duration = duration;
+  o.seed = 0xf1ee7;
+  const core::ServingHarness h(o);
+
+  std::vector<RunSpec> specs;
+  for (const unsigned d : device_counts) {
+    for (const char* placement : {"spread", "pack"}) {
+      for (const char* router : {"round-robin", "least-outstanding"}) {
+        for (const char* system : {"SGDRC", "Multi-streaming"}) {
+          specs.push_back({d, placement, router, system});
+        }
+      }
+    }
+    // Showcase of the QoS-aware variants (full grid would be 3×3×2).
+    specs.push_back({d, "qos-aware", "qos-load-aware", "SGDRC"});
+  }
+
+  std::printf("fleet scaling on %s: %zu LS + %zu BE tenants, %zu configs\n",
+              o.spec.name.c_str(), h.ls_count(), h.be_count(), specs.size());
+
+  // Traces are shared per device count; fleet runs are independent.
+  std::vector<std::vector<workload::Request>> traces;
+  for (const unsigned d : device_counts) {
+    traces.push_back(make_trace(h, d, duration));
+  }
+  auto trace_for = [&](unsigned d) -> const std::vector<workload::Request>& {
+    for (size_t i = 0; i < device_counts.size(); ++i) {
+      if (device_counts[i] == d) return traces[i];
+    }
+    SGDRC_REQUIRE(false, "no trace for device count");
+    return traces[0];
+  };
+
+  std::vector<RunResult> results(specs.size());
+  ThreadPool pool(8);
+  pool.parallel_for(specs.size(), [&](size_t i) {
+    results[i] = run_one(h, specs[i], trace_for(specs[i].devices), duration);
+  });
+
+  TextTable t({"GPUs", "placement", "router", "system", "SLO att.",
+               "LS goodput/s", "BE samples/s", "fleet p99 ms", "imb. cv",
+               "max/mean"});
+  for (const auto& r : results) {
+    const auto& m = r.metrics;
+    t.add_row({std::to_string(r.spec.devices), r.spec.placement,
+               r.spec.router, r.spec.system,
+               TextTable::pct(m.mean_attainment()),
+               TextTable::num(m.ls_goodput(), 0),
+               TextTable::num(m.be_throughput(), 1),
+               TextTable::num(m.fleet_p99_ms(), 2),
+               TextTable::num(m.imbalance_cv(), 3),
+               TextTable::num(m.imbalance_max_over_mean(), 2)});
+  }
+  t.print();
+
+  // Headline: does per-device SGDRC beat the baseline fleet-wide at the
+  // largest size, per placement × router cell?
+  const unsigned top = device_counts.back();
+  std::printf("\nat %u GPUs (goodput SGDRC vs Multi-streaming):\n", top);
+  for (const auto& a : results) {
+    if (a.spec.devices != top || a.spec.system != "SGDRC") continue;
+    for (const auto& b : results) {
+      if (b.spec.devices == top && b.spec.system == "Multi-streaming" &&
+          b.spec.placement == a.spec.placement &&
+          b.spec.router == a.spec.router) {
+        std::printf("  %-7s + %-17s  %7.0f vs %7.0f  (%.2fx)\n",
+                    a.spec.placement.c_str(), a.spec.router.c_str(),
+                    a.metrics.ls_goodput(), b.metrics.ls_goodput(),
+                    b.metrics.ls_goodput() > 0
+                        ? a.metrics.ls_goodput() / b.metrics.ls_goodput()
+                        : 0.0);
+      }
+    }
+  }
+
+  if (!json_path.empty()) emit_json(json_path, results, duration, quick);
+  return 0;
+}

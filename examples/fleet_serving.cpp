@@ -1,0 +1,157 @@
+// Fleet serving with a load spike: 4 GPUs running SGDRC per device,
+// 3 latency-sensitive tenants (3 replicas for tenant A, 2 for the rest)
+// and 4 best-effort tenants sharded by QoS-aware placement. Midway
+// through the run, tenant A's request rate jumps 3×; the example
+// compares routing strategies under that spike — blind round-robin
+// splits it evenly across A's replicas no matter how uneven their
+// co-tenancy is, while the load-aware routers rebalance toward
+// whichever device has headroom at each instant.
+//
+//   ./fleet_serving
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "common/table.h"
+#include "core/profiler.h"
+#include "core/sgdrc_policy.h"
+#include "fleet/fleet.h"
+#include "models/zoo.h"
+#include "workload/trace.h"
+
+using namespace sgdrc;
+using namespace sgdrc::fleet;
+
+namespace {
+
+constexpr TimeNs kDuration = 1 * kNsPerSec;
+constexpr TimeNs kSpikeStart = 300 * kNsPerMs;
+constexpr TimeNs kSpikeEnd = 700 * kNsPerMs;
+constexpr double kSpikeFactor = 3.0;
+
+std::vector<workload::Request> spiky_trace(
+    const std::vector<double>& base_rates) {
+  workload::TraceOptions base;
+  base.services = static_cast<unsigned>(base_rates.size());
+  base.duration = kDuration;
+  base.per_service_rates = base_rates;
+  base.seed = 0x5b1ce;
+  auto trace = workload::generate_apollo_like_trace(base);
+
+  // The spike: extra tenant-A traffic inside [kSpikeStart, kSpikeEnd).
+  workload::TraceOptions spike;
+  spike.services = 1;
+  spike.duration = kSpikeEnd - kSpikeStart;
+  spike.per_service_rates = {base_rates[0] * (kSpikeFactor - 1.0)};
+  spike.seed = 0x5b1ce ^ 0xa;
+  for (auto r : workload::generate_apollo_like_trace(spike)) {
+    trace.push_back({r.arrival + kSpikeStart, 0});
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const workload::Request& a, const workload::Request& b) {
+              return a.arrival < b.arrival;
+            });
+  return trace;
+}
+
+void report(const std::string& router, const FleetMetrics& m) {
+  std::printf("router: %s\n", router.c_str());
+  TextTable t({"tenant", "class", "p99 (ms)", "SLO att.", "served",
+               "samples/s"});
+  for (const auto& tm : m.tenants) {
+    const bool ls = tm.qos == workload::QosClass::kLatencySensitive;
+    t.add_row({tm.name, workload::qos_name(tm.qos),
+               ls ? TextTable::num(tm.p99_ms(), 2) : "-",
+               ls ? TextTable::pct(tm.attainment()) : "-",
+               ls ? std::to_string(tm.served) : "-",
+               ls ? "-"
+                  : TextTable::num(tm.samples() / to_sec(m.duration), 1)});
+  }
+  t.print();
+  std::printf("  routed per device:");
+  for (const uint64_t r : m.routed) std::printf(" %lu", (unsigned long)r);
+  std::printf("   (imbalance cv %.3f, max/mean %.2f)\n",
+              m.imbalance_cv(), m.imbalance_max_over_mean());
+  std::printf("  fleet: %.1f%% attainment, %.0f goodput/s, %.1f BE "
+              "samples/s, p99 %.2f ms\n\n",
+              100.0 * m.mean_attainment(), m.ls_goodput(),
+              m.be_throughput(), m.fleet_p99_ms());
+}
+
+}  // namespace
+
+int main() {
+  const auto spec = gpusim::rtx_a2000();
+  core::OfflineProfiler profiler(spec);
+
+  auto ls_a = models::make_model('A');
+  auto ls_b = models::make_model('B');
+  auto ls_c = models::make_model('C');
+  auto be_i = models::make_model('I');
+  auto be_j = models::make_model('J');
+  auto be_k = models::make_model('K');
+  for (auto* m : {&ls_a, &ls_b, &ls_c, &be_i, &be_j, &be_k}) {
+    profiler.profile(*m);
+  }
+  const TimeNs iso_a = profiler.isolated_latency(ls_a);
+  const TimeNs iso_b = profiler.isolated_latency(ls_b);
+  const TimeNs iso_c = profiler.isolated_latency(ls_c);
+
+  // Base load: each LS tenant at ~50% of one replica's capacity, so a
+  // replica pair has slack — until the spike eats it.
+  const std::vector<double> rates{0.5 / to_sec(iso_a), 0.5 / to_sec(iso_b),
+                                  0.5 / to_sec(iso_c)};
+  const auto trace = spiky_trace(rates);
+
+  std::vector<FleetTenantSpec> tenants{
+      // The spiking tenant gets 3 replicas; its siblings get 2, so A's
+      // replicas face unequal co-tenancy — the asymmetry load-aware
+      // routing exploits and blind rotation cannot.
+      replicated(core::latency_sensitive_tenant(ls_a, iso_a), 3),
+      replicated(core::latency_sensitive_tenant(ls_b, iso_b), 2),
+      replicated(core::latency_sensitive_tenant(ls_c, iso_c), 2),
+      replicated(core::best_effort_tenant(be_i), 2),
+      replicated(core::best_effort_tenant(be_j), 2),
+      replicated(core::best_effort_tenant(be_k), 2),
+      replicated(core::best_effort_tenant(be_i), 2),  // second I instance
+  };
+
+  std::printf("fleet serving on 4× %s: 3 LS (3+2+2 replicas) + 4 BE "
+              "tenants, %zu requests,\ntenant A spikes %.0fx in "
+              "[%.0f ms, %.0f ms)\n\n",
+              spec.name.c_str(), trace.size(), kSpikeFactor,
+              to_ms(kSpikeStart), to_ms(kSpikeEnd));
+
+  const PolicyFactory sgdrc_per_device =
+      [](const gpusim::GpuSpec& gs) -> std::unique_ptr<core::Policy> {
+    return std::make_unique<core::SgdrcPolicy>(gs);
+  };
+
+  std::unique_ptr<Router> routers[] = {
+      std::make_unique<RoundRobinRouter>(),
+      std::make_unique<LeastOutstandingRouter>(),
+      std::make_unique<QosLoadAwareRouter>(),
+  };
+  for (auto& router : routers) {
+    FleetConfig cfg;
+    cfg.spec = spec;
+    cfg.devices = 4;
+    cfg.duration = kDuration;
+    cfg.slo_multiplier = 4.0;
+    cfg.seed = 0xf1ee7;
+    cfg.dispatch_latency = 2 * kNsPerUs;
+    cfg.dispatch_jitter = 3 * kNsPerUs;
+    QosAwarePlacement placement;
+    FleetSim fleet(cfg, tenants, placement, *router, sgdrc_per_device);
+    report(router->name(), fleet.run(trace));
+  }
+
+  std::printf(
+      "Reading: round-robin splits the spike evenly across tenant A's\n"
+      "three replicas no matter how deep their queues get;\n"
+      "least-outstanding drains to whichever replica is free, and the\n"
+      "QoS-load-aware router also dodges devices busy with other\n"
+      "tenants' work. The BE tenants keep their tide-pool throughput on\n"
+      "every device throughout.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Minimal streaming JSON writer for machine-readable bench output
+// (BENCH_*.json artifacts the CI perf trajectory ingests). Commas and
+// nesting are handled by a scope stack; strings are escaped; non-finite
+// doubles become null so the output always parses.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace sgdrc {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  ~JsonWriter() {
+    // Throwing from a dtor would terminate mid-unwind and mask the
+    // original error, so an unclosed scope only warns.
+    if (!stack_.empty()) {
+      std::fprintf(stderr, "JsonWriter: %zu unclosed scope(s)\n",
+                   stack_.size());
+    }
+  }
+
+  JsonWriter& begin_object() { return open('{', '}'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('[', ']'); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Key of the next value inside an object.
+  JsonWriter& key(const std::string& k) {
+    comma();
+    write_string(k);
+    os_ << ':';
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(const std::string& v) {
+    comma();
+    write_string(v);
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    os_ << (v ? "true" : "false");
+    return *this;
+  }
+  JsonWriter& value(double v) {
+    comma();
+    if (!std::isfinite(v)) {
+      os_ << "null";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.9g", v);
+      os_ << buf;
+    }
+    return *this;
+  }
+  JsonWriter& value(uint64_t v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int64_t v) {
+    comma();
+    os_ << v;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(unsigned v) { return value(static_cast<uint64_t>(v)); }
+
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    return key(k).value(v);
+  }
+
+ private:
+  JsonWriter& open(char c, char closer) {
+    comma();
+    os_ << c;
+    stack_.push_back(closer);
+    fresh_ = true;
+    return *this;
+  }
+  JsonWriter& close(char closer) {
+    SGDRC_REQUIRE(!stack_.empty() && stack_.back() == closer,
+                  "mismatched JSON scope close");
+    stack_.pop_back();
+    os_ << closer;
+    fresh_ = false;
+    return *this;
+  }
+  void comma() {
+    if (pending_value_) {
+      pending_value_ = false;  // value right after key: no comma
+      return;
+    }
+    if (!fresh_ && !stack_.empty()) os_ << ',';
+    fresh_ = false;
+  }
+  void write_string(const std::string& s) {
+    os_ << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os_ << "\\\""; break;
+        case '\\': os_ << "\\\\"; break;
+        case '\n': os_ << "\\n"; break;
+        case '\t': os_ << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            os_ << buf;
+          } else {
+            os_ << c;
+          }
+      }
+    }
+    os_ << '"';
+  }
+
+  std::ostream& os_;
+  std::vector<char> stack_;
+  bool fresh_ = true;          // no sibling emitted yet in current scope
+  bool pending_value_ = false; // key emitted, value expected
+};
+
+}  // namespace sgdrc

@@ -49,8 +49,10 @@ class ServingHarness {
   TimeNs isolated_latency(size_t service) const { return iso_.at(service); }
   double rate_for(size_t service) const { return rates_.at(service); }
   const models::ModelDesc& ls_model(size_t i) const { return ls_plain_[i]; }
+  const models::ModelDesc& ls_model_spt(size_t i) const { return ls_spt_[i]; }
   const models::ModelDesc& be_model(size_t i) const { return be_plain_[i]; }
   const models::ModelDesc& be_model_spt(size_t i) const { return be_spt_[i]; }
+  size_t be_count() const { return be_plain_.size(); }
   const std::vector<workload::Request>& trace() const { return trace_; }
   const OfflineProfiler& profiler() const { return *profiler_; }
 

@@ -15,7 +15,26 @@ constexpr size_t qos_index(QosClass q) {
 
 ServingSim::ServingSim(ServingConfig cfg, std::vector<TenantSpec> tenants,
                        Policy& policy)
-    : cfg_(std::move(cfg)), tenants_(std::move(tenants)), policy_(policy) {
+    : cfg_(std::move(cfg)),
+      tenants_(std::move(tenants)),
+      policy_(policy),
+      owned_queue_(std::make_unique<EventQueue>()),
+      queue_(*owned_queue_),
+      rng_(cfg_.seed) {
+  init();
+}
+
+ServingSim::ServingSim(EventQueue& queue, ServingConfig cfg,
+                       std::vector<TenantSpec> tenants, Policy& policy)
+    : cfg_(std::move(cfg)),
+      tenants_(std::move(tenants)),
+      policy_(policy),
+      queue_(queue),
+      rng_(cfg_.seed) {
+  init();
+}
+
+void ServingSim::init() {
   SGDRC_REQUIRE(!tenants_.empty(), "serving needs at least one tenant");
   exec_ = std::make_unique<GpuExecutor>(cfg_.spec, queue_, cfg_.exec_params);
 
@@ -38,6 +57,7 @@ ServingSim::ServingSim(ServingConfig cfg, std::vector<TenantSpec> tenants,
                        ? cfg_.slo_multiplier
                        : static_cast<double>(ls_tenants_.size() + be_slots);
 
+  instances_.assign(tenants_.size(), 0);
   free_instances_.assign(tenants_.size(), 0);
   backlog_.resize(tenants_.size());
   for (TenantId t = 0; t < tenants_.size(); ++t) {
@@ -51,6 +71,7 @@ ServingSim::ServingSim(ServingConfig cfg, std::vector<TenantSpec> tenants,
       const unsigned instances =
           spec.instances ? spec.instances : cfg_.ls_instances;
       SGDRC_REQUIRE(instances >= 1, "need at least one instance");
+      instances_[t] = instances;
       free_instances_[t] = instances;
       m.isolated_p99 = spec.isolated_latency;
       m.slo = static_cast<TimeNs>(
@@ -71,13 +92,21 @@ ServingSim::ServingSim(ServingConfig cfg, std::vector<TenantSpec> tenants,
 
 workload::ServingMetrics ServingSim::run(
     const std::vector<Request>& trace) {
-  metrics_.duration = cfg_.duration;
+  begin();
   for (const Request& r : trace) {
     if (r.arrival >= cfg_.duration) break;
     queue_.schedule_at(r.arrival, [this, r] { arrive(r); });
   }
-  poke();  // let the policy start the BE closed loops immediately
   queue_.run_until(cfg_.duration);
+  return finish();
+}
+
+void ServingSim::begin() {
+  metrics_.duration = cfg_.duration;
+  poke();  // let the policy start the BE closed loops immediately
+}
+
+workload::ServingMetrics ServingSim::finish() {
   stopped_ = true;
   return metrics_;
 }
@@ -85,15 +114,26 @@ workload::ServingMetrics ServingSim::run(
 void ServingSim::arrive(const Request& r) {
   SGDRC_REQUIRE(r.service < ls_tenants_.size(),
                 "request for unknown service");
-  const TenantId t = ls_tenants_[r.service];
+  inject(ls_tenants_[r.service], r.arrival);
+}
+
+void ServingSim::inject(TenantId t, TimeNs arrival) {
+  SGDRC_REQUIRE(t < tenants_.size() &&
+                    tenants_[t].qos == QosClass::kLatencySensitive,
+                "inject targets an LS tenant");
+  SGDRC_REQUIRE(arrival <= now(), "injected request arrives in the future");
   ++metrics_.tenants[t].arrived;
+  admit_or_backlog(t, arrival);
+  poke();
+}
+
+void ServingSim::admit_or_backlog(TenantId t, TimeNs arrival) {
   if (free_instances_[t] > 0) {
     --free_instances_[t];
-    admit(t, r.arrival);
+    admit(t, arrival);
   } else {
-    backlog_[t].push_back(r.arrival);
+    backlog_[t].push_back(arrival);
   }
-  poke();
 }
 
 void ServingSim::admit(TenantId tenant, TimeNs arrival) {

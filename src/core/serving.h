@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/event_queue.h"
+#include "common/rng.h"
 #include "gpusim/executor.h"
 #include "gpusim/gpu_spec.h"
 #include "models/model.h"
@@ -83,6 +84,9 @@ struct ServingConfig {
   /// the GPU (#LS + 1 rotating BE slot, or #LS + #BE when concurrent).
   double slo_multiplier = 0.0;
   BeMode be_mode = BeMode::kRoundRobin;
+  /// Seed of this sim's private RNG stream. Fleets salt it per device
+  /// (fleet::device_seed) so replicas never share a jitter stream.
+  uint64_t seed = 0x5eed;
 };
 
 /// Resource allocation for one kernel launch. Zero means "all" for both
@@ -94,11 +98,31 @@ struct LaunchSpec {
 
 class ServingSim {
  public:
+  /// Standalone sim: owns its event queue.
   ServingSim(ServingConfig cfg, std::vector<TenantSpec> tenants,
              Policy& policy);
+  /// Fleet mode: shares `queue` with sibling devices so an outer
+  /// simulation (fleet::FleetSim) can interleave N GPUs on one clock and
+  /// route requests by live per-device state. The caller drives the
+  /// queue and uses begin()/inject()/finish() instead of run().
+  ServingSim(EventQueue& queue, ServingConfig cfg,
+             std::vector<TenantSpec> tenants, Policy& policy);
 
   /// Replay the trace; returns the metrics after `duration`.
   workload::ServingMetrics run(const std::vector<workload::Request>& trace);
+
+  // -------------------------------------------- external-driver API ----
+  // run() is begin() + per-request inject() + queue drain + finish();
+  // fleets call the pieces directly.
+  /// Start metrics collection and let the policy boot the BE loops.
+  void begin();
+  /// Admit a routed LS request for `tenant`. `arrival` is the upstream
+  /// (fleet) arrival time — it may predate now() so queueing at the
+  /// router counts against the SLO; it must not be in the future.
+  void inject(TenantId tenant, TimeNs arrival);
+  /// Stop recording (late completions no longer count) and take the
+  /// metrics.
+  workload::ServingMetrics finish();
 
   // ------------------------------------------------- policy read API ----
   const gpusim::GpuSpec& spec() const { return cfg_.spec; }
@@ -138,6 +162,16 @@ class ServingSim {
   const models::ModelDesc& tenant_model(TenantId t) const {
     return tenants_.at(t).model;
   }
+  /// Instance-pool size of an LS tenant (0 for BE tenants).
+  unsigned instances_of(TenantId t) const { return instances_.at(t); }
+  /// Requests in the system for an LS tenant: admitted (holding an
+  /// instance) plus backlogged. Routers balance replicas on this.
+  size_t outstanding(TenantId t) const {
+    return (instances_.at(t) - free_instances_.at(t)) + backlog_.at(t).size();
+  }
+  /// This sim's private deterministic RNG stream (device-salted in
+  /// fleets); policies and outer simulations draw jitter from it.
+  Rng& rng() { return rng_; }
 
   // ------------------------------------------------ policy write API ----
   /// Launch the next kernel of a waiting job. For non-memory-bound
@@ -172,8 +206,10 @@ class ServingSim {
   Job* job_ptr(JobId id);
   const Job* job_ptr(JobId id) const;
 
+  void init();
   void arrive(const workload::Request& r);
   void admit(TenantId tenant, TimeNs arrival);
+  void admit_or_backlog(TenantId tenant, TimeNs arrival);
   void finish_kernel(JobId id);
   void complete_ls_job(TenantId tenant, TimeNs arrival);
   void rotate_be(Job& job);
@@ -184,7 +220,9 @@ class ServingSim {
   std::vector<TenantSpec> tenants_;
   Policy& policy_;
 
-  EventQueue queue_;
+  std::unique_ptr<EventQueue> owned_queue_;  // null in fleet mode
+  EventQueue& queue_;
+  Rng rng_;
   std::unique_ptr<gpusim::GpuExecutor> exec_;
   workload::ServingMetrics metrics_;
 
@@ -192,6 +230,7 @@ class ServingSim {
   std::vector<TenantId> ls_tenants_;     // trace service index → tenant
   std::vector<TenantId> be_tenants_;     // rotation order
   size_t be_resident_ = 0;               // round-robin position
+  std::vector<unsigned> instances_;      // per tenant pool size (LS only)
   std::vector<unsigned> free_instances_; // per tenant (LS slots only)
   std::vector<std::deque<TimeNs>> backlog_;  // queued arrivals per tenant
   size_t inflight_[2] = {0, 0};          // per QosClass
@@ -238,6 +277,10 @@ class ServingSimBuilder {
   }
   ServingSimBuilder& best_effort_mode(BeMode mode) {
     cfg_.be_mode = mode;
+    return *this;
+  }
+  ServingSimBuilder& seed(uint64_t s) {
+    cfg_.seed = s;
     return *this;
   }
   ServingSimBuilder& add_tenant(TenantSpec spec) {

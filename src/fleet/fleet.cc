@@ -1,0 +1,195 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sgdrc::fleet {
+
+using workload::Request;
+using workload::TenantMetrics;
+
+FleetSim::FleetSim(FleetConfig cfg, std::vector<FleetTenantSpec> tenants,
+                   const PlacementPolicy& placement, Router& router,
+                   const PolicyFactory& make_policy)
+    : cfg_(std::move(cfg)), tenants_(std::move(tenants)), router_(router) {
+  SGDRC_REQUIRE(cfg_.devices >= 1, "fleet needs at least one device");
+  SGDRC_REQUIRE(!tenants_.empty(), "fleet needs at least one tenant");
+  SGDRC_REQUIRE(make_policy != nullptr, "fleet needs a policy factory");
+
+  assignment_ = placement.place(tenants_, cfg_.devices);
+  validate_assignment(assignment_, tenants_, cfg_.devices);
+
+  std::vector<std::vector<core::TenantSpec>> per_device(cfg_.devices);
+  replicas_.resize(tenants_.size());
+  for (unsigned t = 0; t < tenants_.size(); ++t) {
+    if (tenants_[t].spec.qos == QosClass::kLatencySensitive) {
+      ls_fleet_tenants_.push_back(t);
+    }
+    for (const DeviceId d : assignment_[t]) {
+      replicas_[t].push_back(
+          {d, static_cast<workload::TenantId>(per_device[d].size())});
+      per_device[d].push_back(tenants_[t].spec);
+    }
+  }
+
+  policies_.resize(cfg_.devices);
+  devices_.resize(cfg_.devices);
+  for (DeviceId d = 0; d < cfg_.devices; ++d) {
+    if (per_device[d].empty()) continue;  // idled by pack placement
+    core::ServingConfig scfg;
+    scfg.spec = cfg_.spec;
+    scfg.exec_params = cfg_.exec_params;
+    scfg.ls_instances = cfg_.ls_instances;
+    scfg.duration = cfg_.duration;
+    scfg.slo_multiplier = cfg_.slo_multiplier;
+    scfg.be_mode = cfg_.be_mode;
+    scfg.seed = device_seed(cfg_.seed, d);
+    policies_[d] = make_policy(cfg_.spec);
+    devices_[d] = std::make_unique<core::ServingSim>(
+        queue_, std::move(scfg), per_device[d], *policies_[d]);
+  }
+}
+
+const core::ServingSim& FleetSim::device(DeviceId d) const {
+  SGDRC_REQUIRE(d < devices_.size() && devices_[d] != nullptr,
+                "no sim on this device (idle under pack placement)");
+  return *devices_[d];
+}
+
+double FleetSim::device_ls_load(DeviceId d) const {
+  const core::ServingSim& sim = device(d);
+  double load = 0.0;
+  for (workload::TenantId t = 0; t < sim.tenant_count(); ++t) {
+    const core::TenantSpec& spec = sim.tenant(t);
+    if (spec.qos != QosClass::kLatencySensitive) continue;
+    load += static_cast<double>(sim.outstanding(t)) *
+            static_cast<double>(spec.isolated_latency);
+  }
+  return load;
+}
+
+FleetMetrics FleetSim::run(const std::vector<Request>& trace) {
+  router_.reset(tenants_.size());
+  routed_.assign(cfg_.devices, 0);
+  for (auto& dev : devices_) {
+    if (dev) dev->begin();
+  }
+  for (const Request& r : trace) {
+    SGDRC_REQUIRE(r.service < ls_fleet_tenants_.size(),
+                  "request for unknown fleet service");
+    if (r.arrival >= cfg_.duration) continue;
+    queue_.schedule_at(r.arrival, [this, r] { dispatch(r); });
+  }
+  queue_.run_until(cfg_.duration);
+
+  FleetMetrics out;
+  out.duration = cfg_.duration;
+  out.routed = routed_;
+  for (auto& dev : devices_) {
+    if (dev) {
+      out.devices.push_back(dev->finish());
+    } else {
+      // Idle device (pack placement): no tenants, but a real duration so
+      // its rate accessors stay finite.
+      workload::ServingMetrics idle;
+      idle.duration = cfg_.duration;
+      out.devices.push_back(std::move(idle));
+    }
+  }
+  for (unsigned t = 0; t < tenants_.size(); ++t) {
+    const auto& reps = replicas_[t];
+    const TenantMetrics& first =
+        out.devices[reps.front().device].tenants[reps.front().local_tenant];
+    TenantMetrics m;
+    m.id = t;
+    m.qos = first.qos;
+    m.name = first.name;
+    m.letter = first.letter;
+    m.isolated_p99 = first.isolated_p99;
+    m.slo = first.slo;
+    m.batch = first.batch;
+    m.kernels_per_batch = first.kernels_per_batch;
+    for (const Replica& r : reps) {
+      m.absorb(out.devices[r.device].tenants[r.local_tenant]);
+    }
+    out.tenants.push_back(std::move(m));
+  }
+  return out;
+}
+
+void FleetSim::dispatch(const Request& r) {
+  const unsigned ft = ls_fleet_tenants_[r.service];
+  const auto& reps = replicas_[ft];
+  const size_t pick = router_.route(*this, ft, reps);
+  SGDRC_CHECK(pick < reps.size(), "router picked an invalid replica");
+  const Replica rep = reps[pick];
+  core::ServingSim& sim = *devices_[rep.device];
+  TimeNs delay = cfg_.dispatch_latency;
+  if (cfg_.dispatch_jitter > 0) {
+    delay += static_cast<TimeNs>(sim.rng().exponential(
+        1.0 / static_cast<double>(cfg_.dispatch_jitter)));
+  }
+  // A hop that lands past the measurement window never reaches a device;
+  // dropping it here keeps routed == Σ arrived exact.
+  if (r.arrival + delay >= cfg_.duration) return;
+  ++routed_[rep.device];
+  if (delay == 0) {
+    sim.inject(rep.local_tenant, r.arrival);
+  } else {
+    // Latency still counts from the fleet arrival: the dispatch hop is
+    // part of what the user waits for.
+    queue_.schedule_at(r.arrival + delay, [this, rep, r] {
+      devices_[rep.device]->inject(rep.local_tenant, r.arrival);
+    });
+  }
+}
+
+// ---------------------------------------------------------- metrics ----
+
+double FleetMetrics::ls_goodput() const {
+  return workload::ls_goodput(tenants, duration);
+}
+
+double FleetMetrics::be_throughput() const {
+  return workload::be_throughput(tenants, duration);
+}
+
+double FleetMetrics::mean_attainment() const {
+  return workload::mean_attainment(tenants);
+}
+
+double FleetMetrics::fleet_p99_ms() const {
+  Samples all;
+  for (const auto& m : tenants) {
+    if (m.qos == QosClass::kLatencySensitive) all.add_all(m.latency);
+  }
+  return all.empty() ? 0.0 : to_ms(static_cast<TimeNs>(all.p99()));
+}
+
+double FleetMetrics::routed_mean() const {
+  if (routed.empty()) return 0.0;
+  uint64_t total = 0;
+  for (const uint64_t r : routed) total += r;
+  return static_cast<double>(total) / static_cast<double>(routed.size());
+}
+
+double FleetMetrics::imbalance_cv() const {
+  const double mean = routed_mean();
+  if (mean <= 0.0) return 0.0;
+  double var = 0.0;
+  for (const uint64_t r : routed) {
+    const double d = static_cast<double>(r) - mean;
+    var += d * d;
+  }
+  var /= static_cast<double>(routed.size());
+  return std::sqrt(var) / mean;
+}
+
+double FleetMetrics::imbalance_max_over_mean() const {
+  const double mean = routed_mean();
+  if (mean <= 0.0) return 1.0;
+  const uint64_t hottest = *std::max_element(routed.begin(), routed.end());
+  return static_cast<double>(hottest) / mean;
+}
+
+}  // namespace sgdrc::fleet

@@ -1,0 +1,131 @@
+// The fleet layer: N per-device ServingSims (each with its own gpusim
+// device and its own Policy instance) interleaved on one shared event
+// queue, a PlacementPolicy that decides where each tenant's replicas
+// live, and a Router that dispatches every arriving LS request to a
+// replica by live per-device state. Per-GPU resource control (SGDRC or a
+// baseline) stays a device-local concern; the fleet adds the cluster
+// placement + routing layer on top, and aggregates metrics fleet-wide.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/serving.h"
+#include "fleet/placement.h"
+#include "fleet/router.h"
+
+namespace sgdrc::fleet {
+
+/// Derive device d's RNG seed from the fleet seed. Distinct per device
+/// (golden-ratio stride through splitmix64), so replicas never share an
+/// arrival-jitter stream, while the whole fleet stays reproducible from
+/// one base seed.
+inline uint64_t device_seed(uint64_t base, DeviceId device) {
+  return splitmix64(base + 0x9E3779B97F4A7C15ull *
+                               (static_cast<uint64_t>(device) + 1));
+}
+
+struct FleetConfig {
+  gpusim::GpuSpec spec;  // homogeneous fleet (heterogeneity is future work)
+  gpusim::ExecutorParams exec_params;
+  unsigned devices = 1;
+  unsigned ls_instances = 4;
+  TimeNs duration = 2 * kNsPerSec;
+  /// Forwarded to every device sim. Leave 0 only when every device hosts
+  /// the same tenant mix: the per-device default (n = co-resident
+  /// tenants) would otherwise give the same tenant different SLOs under
+  /// different placements.
+  double slo_multiplier = 0.0;
+  core::BeMode be_mode = core::BeMode::kRoundRobin;
+  uint64_t seed = 0x5eed;
+  /// Router→device dispatch cost: a fixed hop latency plus an
+  /// exponential jitter tail (mean). Jitter draws from the destination
+  /// device's salted RNG stream, so replicas see independent jitter.
+  TimeNs dispatch_latency = 0;
+  TimeNs dispatch_jitter = 0;
+};
+
+struct FleetMetrics {
+  TimeNs duration = 0;
+  /// Per-device metrics (devices idled by pack placement report empty
+  /// ServingMetrics with no tenants).
+  std::vector<workload::ServingMetrics> devices;
+  /// Per fleet tenant, merged across its replicas: counters add and
+  /// latency samples union, so p99/attainment reflect every request the
+  /// tenant served anywhere in the fleet.
+  std::vector<workload::TenantMetrics> tenants;
+  /// LS requests dispatched to each device (router decisions).
+  std::vector<uint64_t> routed;
+
+  double ls_goodput() const;       // attained requests / s, fleet-wide
+  double be_throughput() const;    // samples / s, fleet-wide
+  double overall_throughput() const {
+    return ls_goodput() + be_throughput();
+  }
+  double mean_attainment() const;  // over LS fleet tenants
+  /// p99 latency (ms) over the union of all LS requests fleet-wide.
+  double fleet_p99_ms() const;
+
+  // ---- load-imbalance stats, over per-device routed counts ----
+  double routed_mean() const;
+  /// Coefficient of variation (population stddev / mean); 0 = balanced.
+  double imbalance_cv() const;
+  /// Hottest device / mean; 1 = balanced.
+  double imbalance_max_over_mean() const;
+};
+
+/// Each device runs its own Policy instance (policies are stateful);
+/// the factory builds one per device.
+using PolicyFactory =
+    std::function<std::unique_ptr<core::Policy>(const gpusim::GpuSpec&)>;
+
+class FleetSim {
+ public:
+  /// `placement` is consulted once, in the constructor; `router` and
+  /// `make_policy`'s products must outlive run().
+  FleetSim(FleetConfig cfg, std::vector<FleetTenantSpec> tenants,
+           const PlacementPolicy& placement, Router& router,
+           const PolicyFactory& make_policy);
+
+  /// Replay `trace` fleet-wide; Request::service indexes the LS fleet
+  /// tenants in spec order. Single-shot: one run per FleetSim.
+  FleetMetrics run(const std::vector<workload::Request>& trace);
+
+  // ------------------------------------------- router / test read API ----
+  unsigned device_count() const { return cfg_.devices; }
+  const FleetConfig& config() const { return cfg_; }
+  bool device_in_use(DeviceId d) const { return devices_.at(d) != nullptr; }
+  const core::ServingSim& device(DeviceId d) const;
+  const Assignment& assignment() const { return assignment_; }
+  const std::vector<Replica>& replicas_of(unsigned tenant) const {
+    return replicas_.at(tenant);
+  }
+  size_t ls_service_count() const { return ls_fleet_tenants_.size(); }
+  TimeNs now() const { return queue_.now(); }
+  /// Requests a replica currently holds (admitted + backlogged).
+  size_t outstanding(const Replica& r) const {
+    return device(r.device).outstanding(r.local_tenant);
+  }
+  /// Expected queued LS work on a device: Σ over its LS tenants of
+  /// outstanding × isolated latency (ns of serialized work).
+  double device_ls_load(DeviceId d) const;
+
+ private:
+  void dispatch(const workload::Request& r);
+
+  FleetConfig cfg_;
+  std::vector<FleetTenantSpec> tenants_;
+  Router& router_;
+  Assignment assignment_;
+  EventQueue queue_;
+  std::vector<std::unique_ptr<core::Policy>> policies_;   // per device
+  std::vector<std::unique_ptr<core::ServingSim>> devices_;  // null if idle
+  std::vector<std::vector<Replica>> replicas_;  // per fleet tenant
+  std::vector<unsigned> ls_fleet_tenants_;      // service index → tenant
+  std::vector<uint64_t> routed_;
+};
+
+}  // namespace sgdrc::fleet

@@ -1,0 +1,147 @@
+#include "fleet/placement.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sgdrc::fleet {
+
+namespace {
+
+unsigned clamped_replicas(const FleetTenantSpec& t, unsigned devices) {
+  SGDRC_REQUIRE(t.replicas >= 1, "tenant needs at least one replica");
+  return std::min(t.replicas, devices);
+}
+
+double derived_weight(const FleetTenantSpec& t) {
+  if (t.weight > 0.0) return t.weight;
+  return t.spec.qos == QosClass::kLatencySensitive
+             ? static_cast<double>(t.spec.isolated_latency)
+             : 1.0;
+}
+
+}  // namespace
+
+Assignment SpreadPlacement::place(const std::vector<FleetTenantSpec>& tenants,
+                                  unsigned devices) const {
+  std::vector<unsigned> count(devices, 0);
+  Assignment out(tenants.size());
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    std::vector<bool> used(devices, false);
+    for (unsigned r = 0; r < clamped_replicas(tenants[t], devices); ++r) {
+      DeviceId best = 0;
+      unsigned best_count = std::numeric_limits<unsigned>::max();
+      for (DeviceId d = 0; d < devices; ++d) {
+        if (!used[d] && count[d] < best_count) {
+          best = d;
+          best_count = count[d];
+        }
+      }
+      used[best] = true;
+      ++count[best];
+      out[t].push_back(best);
+    }
+  }
+  return out;
+}
+
+Assignment PackPlacement::place(const std::vector<FleetTenantSpec>& tenants,
+                                unsigned devices) const {
+  SGDRC_REQUIRE(per_device_ >= 1, "pack capacity must be positive");
+  std::vector<unsigned> count(devices, 0);
+  Assignment out(tenants.size());
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    std::vector<bool> used(devices, false);
+    for (unsigned r = 0; r < clamped_replicas(tenants[t], devices); ++r) {
+      // First device with room; when every device is at capacity, fall
+      // back to the least-loaded one (capacity is a preference, not an
+      // admission limit — the fleet never rejects work).
+      DeviceId best = 0;
+      bool found = false;
+      for (DeviceId d = 0; d < devices && !found; ++d) {
+        if (!used[d] && count[d] < per_device_) {
+          best = d;
+          found = true;
+        }
+      }
+      if (!found) {
+        unsigned best_count = std::numeric_limits<unsigned>::max();
+        for (DeviceId d = 0; d < devices; ++d) {
+          if (!used[d] && count[d] < best_count) {
+            best = d;
+            best_count = count[d];
+          }
+        }
+      }
+      used[best] = true;
+      ++count[best];
+      out[t].push_back(best);
+    }
+  }
+  return out;
+}
+
+Assignment QosAwarePlacement::place(
+    const std::vector<FleetTenantSpec>& tenants, unsigned devices) const {
+  std::vector<double> ls_load(devices, 0.0);
+  std::vector<unsigned> be_count(devices, 0);
+  Assignment out(tenants.size());
+  // LS first so BE sees the final LS landscape regardless of spec order.
+  for (const QosClass qos :
+       {QosClass::kLatencySensitive, QosClass::kBestEffort}) {
+    for (size_t t = 0; t < tenants.size(); ++t) {
+      if (tenants[t].spec.qos != qos) continue;
+      const double w = derived_weight(tenants[t]);
+      std::vector<bool> used(devices, false);
+      for (unsigned r = 0; r < clamped_replicas(tenants[t], devices); ++r) {
+        DeviceId best = 0;
+        bool have = false;
+        for (DeviceId d = 0; d < devices; ++d) {
+          if (used[d]) continue;
+          if (!have) {
+            best = d;
+            have = true;
+            continue;
+          }
+          const bool better =
+              qos == QosClass::kLatencySensitive
+                  ? ls_load[d] < ls_load[best] ||
+                        (ls_load[d] == ls_load[best] &&
+                         be_count[d] < be_count[best])
+                  : be_count[d] < be_count[best] ||
+                        (be_count[d] == be_count[best] &&
+                         ls_load[d] < ls_load[best]);
+          if (better) best = d;
+        }
+        used[best] = true;
+        if (qos == QosClass::kLatencySensitive) {
+          ls_load[best] += w;
+        } else {
+          ++be_count[best];
+        }
+        out[t].push_back(best);
+      }
+    }
+  }
+  return out;
+}
+
+void validate_assignment(const Assignment& assignment,
+                         const std::vector<FleetTenantSpec>& tenants,
+                         unsigned devices) {
+  SGDRC_REQUIRE(assignment.size() == tenants.size(),
+                "assignment must cover every tenant");
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    const auto& reps = assignment[t];
+    SGDRC_REQUIRE(reps.size() ==
+                      std::min<size_t>(tenants[t].replicas, devices),
+                  "wrong replica count for tenant");
+    std::vector<bool> seen(devices, false);
+    for (const DeviceId d : reps) {
+      SGDRC_REQUIRE(d < devices, "replica on an out-of-range device");
+      SGDRC_REQUIRE(!seen[d], "two replicas of one tenant share a device");
+      seen[d] = true;
+    }
+  }
+}
+
+}  // namespace sgdrc::fleet

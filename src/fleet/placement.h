@@ -1,0 +1,91 @@
+// Cluster-level placement (the ParvaGPU layering: per-GPU spatial
+// sharing below, device assignment above): a PlacementPolicy decides
+// which devices each fleet tenant's replicas land on before the fleet
+// simulation starts. Replicas of one tenant always land on distinct
+// devices; a tenant asking for more replicas than the fleet has devices
+// is clamped to one replica per device.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/serving.h"
+
+namespace sgdrc::fleet {
+
+using workload::QosClass;
+
+/// Index of a GPU within one fleet simulation.
+using DeviceId = uint32_t;
+
+/// One workload replicated across the fleet: the per-device TenantSpec
+/// plus how many devices should host an instance of it.
+struct FleetTenantSpec {
+  core::TenantSpec spec;
+  unsigned replicas = 1;
+  /// Expected load share for QoS-aware placement; 0 ⇒ derived (LS
+  /// tenants weigh their isolated latency — costlier models spread
+  /// first; BE tenants weigh equally).
+  double weight = 0.0;
+};
+
+inline FleetTenantSpec replicated(core::TenantSpec spec,
+                                  unsigned replicas = 1,
+                                  double weight = 0.0) {
+  return {std::move(spec), replicas, weight};
+}
+
+/// assignment[t][r] = device hosting replica r of fleet tenant t.
+using Assignment = std::vector<std::vector<DeviceId>>;
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+  virtual std::string name() const = 0;
+  virtual Assignment place(const std::vector<FleetTenantSpec>& tenants,
+                           unsigned devices) const = 0;
+};
+
+/// Balance replica counts: each replica goes to the device currently
+/// hosting the fewest replicas (ties → lowest device id).
+class SpreadPlacement : public PlacementPolicy {
+ public:
+  std::string name() const override { return "spread"; }
+  Assignment place(const std::vector<FleetTenantSpec>& tenants,
+                   unsigned devices) const override;
+};
+
+/// First-fit consolidation: fill device 0 up to `per_device` replicas,
+/// then device 1, … — uses the fewest devices, concentrating contention
+/// (the baseline SGDRC-per-device has to beat).
+class PackPlacement : public PlacementPolicy {
+ public:
+  explicit PackPlacement(unsigned per_device = 8) : per_device_(per_device) {}
+  std::string name() const override { return "pack"; }
+  Assignment place(const std::vector<FleetTenantSpec>& tenants,
+                   unsigned devices) const override;
+
+ private:
+  unsigned per_device_;
+};
+
+/// QoS-aware: LS replicas balance weighted LS load (weight = expected
+/// load share, default isolated latency) across devices; BE replicas
+/// then fill the least-BE-crowded devices, preferring ones with the
+/// least LS load — batch work lands where it steals the least.
+class QosAwarePlacement : public PlacementPolicy {
+ public:
+  std::string name() const override { return "qos-aware"; }
+  Assignment place(const std::vector<FleetTenantSpec>& tenants,
+                   unsigned devices) const override;
+};
+
+/// Check an assignment is well-formed: one entry per tenant,
+/// min(replicas, devices) distinct in-range devices each. Fails loudly —
+/// a bad placement would otherwise surface as confusing routing state.
+void validate_assignment(const Assignment& assignment,
+                         const std::vector<FleetTenantSpec>& tenants,
+                         unsigned devices);
+
+}  // namespace sgdrc::fleet

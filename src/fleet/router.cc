@@ -1,0 +1,46 @@
+#include "fleet/router.h"
+
+#include "fleet/fleet.h"
+
+namespace sgdrc::fleet {
+
+size_t RoundRobinRouter::route(const FleetSim& fleet, unsigned tenant,
+                               const std::vector<Replica>& replicas) {
+  (void)fleet;
+  SGDRC_REQUIRE(tenant < next_.size(), "router not reset for this fleet");
+  const size_t pick = next_[tenant] % replicas.size();
+  next_[tenant] = pick + 1;
+  return pick;
+}
+
+size_t LeastOutstandingRouter::route(const FleetSim& fleet, unsigned tenant,
+                                     const std::vector<Replica>& replicas) {
+  (void)tenant;
+  size_t best = 0;
+  size_t best_load = fleet.outstanding(replicas[0]);
+  for (size_t i = 1; i < replicas.size(); ++i) {
+    const size_t load = fleet.outstanding(replicas[i]);
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+size_t QosLoadAwareRouter::route(const FleetSim& fleet, unsigned tenant,
+                                 const std::vector<Replica>& replicas) {
+  (void)tenant;
+  size_t best = 0;
+  double best_load = fleet.device_ls_load(replicas[0].device);
+  for (size_t i = 1; i < replicas.size(); ++i) {
+    const double load = fleet.device_ls_load(replicas[i].device);
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+}  // namespace sgdrc::fleet

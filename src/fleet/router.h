@@ -1,0 +1,73 @@
+// Cluster-level request routing: every arriving LS request is dispatched
+// to one replica of its fleet tenant by a pluggable strategy. Routers see
+// live per-device state through the FleetSim introspection API (the
+// runtime-aware scheduling of Yu et al., arXiv:2111.14255 — route by
+// observed load, not static assignment). Routing must be deterministic:
+// fleet runs are reproducible bit-for-bit given the same trace and seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fleet/placement.h"
+
+namespace sgdrc::fleet {
+
+class FleetSim;
+
+/// Where one replica of a fleet tenant lives: a device and the TenantId
+/// it was assigned within that device's ServingSim.
+struct Replica {
+  DeviceId device = 0;
+  workload::TenantId local_tenant = 0;
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+  virtual std::string name() const = 0;
+  /// Called once per FleetSim::run before any dispatch; stateful routers
+  /// (round-robin cursors) reset here so back-to-back runs are identical.
+  virtual void reset(size_t fleet_tenants) { (void)fleet_tenants; }
+  /// Pick the replica (an index into `replicas`, never empty) that
+  /// serves a request for `tenant` arriving at fleet.now().
+  virtual size_t route(const FleetSim& fleet, unsigned tenant,
+                       const std::vector<Replica>& replicas) = 0;
+};
+
+/// Per-tenant rotation, blind to load — fair under equal replicas, and
+/// the baseline the load-aware strategies must beat under skew.
+class RoundRobinRouter : public Router {
+ public:
+  std::string name() const override { return "round-robin"; }
+  void reset(size_t fleet_tenants) override {
+    next_.assign(fleet_tenants, 0);
+  }
+  size_t route(const FleetSim& fleet, unsigned tenant,
+               const std::vector<Replica>& replicas) override;
+
+ private:
+  std::vector<size_t> next_;
+};
+
+/// Send to the replica with the fewest requests in its system (admitted
+/// + backlogged); ties break toward the lowest replica index.
+class LeastOutstandingRouter : public Router {
+ public:
+  std::string name() const override { return "least-outstanding"; }
+  size_t route(const FleetSim& fleet, unsigned tenant,
+               const std::vector<Replica>& replicas) override;
+};
+
+/// Send to the replica whose *device* carries the least expected LS work
+/// (Σ outstanding × isolated latency over every LS tenant on the device)
+/// — cross-tenant aware, so a replica that is itself idle on a device
+/// hammered by a co-located tenant is avoided.
+class QosLoadAwareRouter : public Router {
+ public:
+  std::string name() const override { return "qos-load-aware"; }
+  size_t route(const FleetSim& fleet, unsigned tenant,
+               const std::vector<Replica>& replicas) override;
+};
+
+}  // namespace sgdrc::fleet

@@ -54,7 +54,53 @@ struct TenantMetrics {
     return static_cast<double>(batch) * static_cast<double>(kernels_done) /
            static_cast<double>(kernels_per_batch);
   }
+
+  /// Fold a replica's metrics into this tenant-wide view (fleet
+  /// aggregation: one tenant, instances on many devices). Counters add,
+  /// latency samples merge, so p99/attainment are computed over the
+  /// union of requests served by every replica.
+  void absorb(const TenantMetrics& replica) {
+    SGDRC_REQUIRE(qos == replica.qos, "absorbing across QoS classes");
+    latency.add_all(replica.latency);
+    arrived += replica.arrived;
+    served += replica.served;
+    attained += replica.attained;
+    batches_completed += replica.batches_completed;
+    kernels_done += replica.kernels_done;
+    evictions += replica.evictions;
+  }
 };
+
+// Class-level aggregates over any tenant list (a single device's, or a
+// fleet's replica-merged view — both layers report through these).
+inline double ls_goodput(const std::vector<TenantMetrics>& tenants,
+                         TimeNs duration) {  // attained requests / s
+  uint64_t ok = 0;
+  for (const auto& m : tenants) {
+    if (m.qos == QosClass::kLatencySensitive) ok += m.attained;
+  }
+  return static_cast<double>(ok) / to_sec(duration);
+}
+
+inline double be_throughput(const std::vector<TenantMetrics>& tenants,
+                            TimeNs duration) {  // samples / s
+  double n = 0;
+  for (const auto& m : tenants) {
+    if (m.qos == QosClass::kBestEffort) n += m.samples();
+  }
+  return n / to_sec(duration);
+}
+
+inline double mean_attainment(const std::vector<TenantMetrics>& tenants) {
+  double s = 0.0;
+  size_t n = 0;
+  for (const auto& m : tenants) {
+    if (m.qos != QosClass::kLatencySensitive) continue;
+    s += m.attainment();
+    ++n;
+  }
+  return n ? s / static_cast<double>(n) : 1.0;
+}
 
 struct ServingMetrics {
   std::vector<TenantMetrics> tenants;  // indexed by TenantId
@@ -88,32 +134,17 @@ struct ServingMetrics {
     if (lat <= m.slo) ++m.attained;
   }
 
-  double ls_goodput() const {  // attained requests / s
-    uint64_t ok = 0;
-    for (const auto& m : tenants) {
-      if (m.qos == QosClass::kLatencySensitive) ok += m.attained;
-    }
-    return static_cast<double>(ok) / to_sec(duration);
+  double ls_goodput() const {
+    return workload::ls_goodput(tenants, duration);
   }
-  double be_throughput() const {  // samples / s
-    double n = 0;
-    for (const auto& m : tenants) {
-      if (m.qos == QosClass::kBestEffort) n += m.samples();
-    }
-    return n / to_sec(duration);
+  double be_throughput() const {
+    return workload::be_throughput(tenants, duration);
   }
   double overall_throughput() const {
     return ls_goodput() + be_throughput();
   }
   double mean_attainment() const {
-    double s = 0.0;
-    size_t n = 0;
-    for (const auto& m : tenants) {
-      if (m.qos != QosClass::kLatencySensitive) continue;
-      s += m.attainment();
-      ++n;
-    }
-    return n ? s / static_cast<double>(n) : 1.0;
+    return workload::mean_attainment(tenants);
   }
 };
 

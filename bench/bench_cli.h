@@ -1,0 +1,48 @@
+// Shared argv parsing for the JSON-emitting benches (fig17_end_to_end,
+// fleet_scaling, scenario_sweep):
+//
+//   ./bench [--quick] [--json PATH] [--seed N]
+//
+// --quick shrinks the run for CI smoke, --json emits the BENCH_*.json
+// artifact the CI perf gate compares against bench/baselines/, --seed
+// overrides the bench's default RNG seed (0 keeps the default so
+// baselines stay reproducible).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace sgdrc::bench {
+
+struct BenchCli {
+  bool quick = false;
+  std::string json_path;
+  uint64_t seed = 0;  // 0 = keep the bench default
+
+  uint64_t seed_or(uint64_t fallback) const { return seed ? seed : fallback; }
+
+  /// Parse argv; prints usage and exits(2) on unknown flags.
+  static BenchCli parse(int argc, char** argv) {
+    BenchCli cli;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--quick") == 0) {
+        cli.quick = true;
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        cli.json_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+        cli.seed = std::strtoull(argv[++i], nullptr, 0);
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--quick] [--json PATH] [--seed N]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    return cli;
+  }
+};
+
+}  // namespace sgdrc::bench

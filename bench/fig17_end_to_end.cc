@@ -8,15 +8,16 @@
 // reported on both GPUs here even though the real P40 no longer supports
 // it (the paper omits it there).
 //
-//   ./fig17_end_to_end [--quick] [--json BENCH_fig17.json]
+//   ./fig17_end_to_end [--quick] [--json BENCH_fig17.json] [--seed N]
 //
 // --quick shrinks the run for CI smoke (one GPU, short window); --json
 // emits every scenario machine-readably (the BENCH_fig17.json artifact).
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
+
+#include "bench_cli.h"
 
 #include "baselines/baseline_policies.h"
 #include "common/json.h"
@@ -83,7 +84,7 @@ std::vector<SystemResult> run_all(const ServingHarness& h,
 }
 
 ScenarioResult run_scenario(const gpusim::GpuSpec& spec, bool heavy,
-                            TimeNs duration) {
+                            TimeNs duration, uint64_t seed) {
   std::printf("\n==== %s — %s workload ====\n", spec.name.c_str(),
               heavy ? "heavy" : "light");
   HarnessOptions o;
@@ -92,7 +93,7 @@ ScenarioResult run_scenario(const gpusim::GpuSpec& spec, bool heavy,
   o.load_scale = heavy ? 1.0 : 0.5;  // §9.2: light = half the rate
   o.burstiness = 0.35;
   o.duration = duration;
-  o.seed = 0xf17;
+  o.seed = seed;
   const ServingHarness h(o);
   const auto results = run_all(h, spec);
 
@@ -180,18 +181,9 @@ void emit_json(const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else {
-      std::fprintf(stderr, "usage: %s [--quick] [--json PATH]\n", argv[0]);
-      return 2;
-    }
-  }
+  const auto cli = sgdrc::bench::BenchCli::parse(argc, argv);
+  const bool quick = cli.quick;
+  const uint64_t seed = cli.seed_or(0xf17);
   const TimeNs duration = quick ? 300 * kNsPerMs : 2 * kNsPerSec;
   const auto gpus = quick
                         ? std::vector<gpusim::GpuSpec>{gpusim::rtx_a2000()}
@@ -202,10 +194,12 @@ int main(int argc, char** argv) {
               gpus.size(), gpus.size() == 1 ? "" : "s");
   std::vector<ScenarioResult> scenarios;
   for (const auto& spec : gpus) {
-    scenarios.push_back(run_scenario(spec, /*heavy=*/true, duration));
-    scenarios.push_back(run_scenario(spec, /*heavy=*/false, duration));
+    scenarios.push_back(run_scenario(spec, /*heavy=*/true, duration, seed));
+    scenarios.push_back(run_scenario(spec, /*heavy=*/false, duration, seed));
   }
-  if (!json_path.empty()) emit_json(json_path, scenarios, duration, quick);
+  if (!cli.json_path.empty()) {
+    emit_json(cli.json_path, scenarios, duration, quick);
+  }
   std::printf(
       "\nShape check (paper): SGDRC attains the highest SLO rate; its p99\n"
       "is comparable to or lower than Orion's; Multi-streaming buys\n"

@@ -6,17 +6,18 @@
 // where placement/routing choices bend the curve and that SGDRC per
 // device beats the baseline fleet-wide at every size.
 //
-//   ./fleet_scaling [--quick] [--json BENCH_fleet.json]
+//   ./fleet_scaling [--quick] [--json BENCH_fleet.json] [--seed N]
 //
 // --quick shrinks the sweep for CI smoke runs; --json emits the full
 // result grid machine-readably (the BENCH_fleet.json artifact).
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "bench_cli.h"
 
 #include "baselines/baseline_policies.h"
 #include "common/json.h"
@@ -85,7 +86,7 @@ std::vector<FleetTenantSpec> make_tenants(const core::ServingHarness& h,
 
 RunResult run_one(const core::ServingHarness& h, const RunSpec& spec,
                   const std::vector<workload::Request>& trace,
-                  TimeNs duration) {
+                  TimeNs duration, uint64_t seed) {
   const bool sgdrc = spec.system == "SGDRC";
   FleetConfig cfg;
   cfg.spec = h.options().spec;
@@ -95,7 +96,7 @@ RunResult run_one(const core::ServingHarness& h, const RunSpec& spec,
   // Constant SLO across every fleet shape: n = LS tenants + one BE slot,
   // as if the whole mix shared one GPU (the 1-device baseline).
   cfg.slo_multiplier = static_cast<double>(h.ls_count() + 1);
-  cfg.seed = 0xf1ee7;
+  cfg.seed = seed;
   cfg.dispatch_latency = 2 * kNsPerUs;
   cfg.dispatch_jitter = 3 * kNsPerUs;
 
@@ -115,12 +116,12 @@ RunResult run_one(const core::ServingHarness& h, const RunSpec& spec,
 /// size runs at the same per-device utilisation.
 std::vector<workload::Request> make_trace(const core::ServingHarness& h,
                                           unsigned devices,
-                                          TimeNs duration) {
+                                          TimeNs duration, uint64_t seed) {
   workload::TraceOptions topt;
   topt.services = static_cast<unsigned>(h.ls_count());
   topt.duration = duration;
   topt.burstiness = h.options().burstiness;
-  topt.seed = 0xf1ee7 + devices;  // same trace for every config at a size
+  topt.seed = seed + devices;  // same trace for every config at a size
   for (size_t i = 0; i < h.ls_count(); ++i) {
     topt.per_service_rates.push_back(h.rate_for(i) *
                                      static_cast<double>(devices));
@@ -176,19 +177,9 @@ void emit_json(const std::string& path, const std::vector<RunResult>& all,
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool quick = false;
-  std::string json_path;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-      json_path = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--quick] [--json PATH]\n", argv[0]);
-      return 2;
-    }
-  }
+  const auto cli = sgdrc::bench::BenchCli::parse(argc, argv);
+  const bool quick = cli.quick;
+  const uint64_t seed = cli.seed_or(0xf1ee7);
 
   const TimeNs duration = quick ? 150 * kNsPerMs : 500 * kNsPerMs;
   const std::vector<unsigned> device_counts =
@@ -201,7 +192,7 @@ int main(int argc, char** argv) {
   o.utilization = 0.8;
   o.burstiness = 0.35;
   o.duration = duration;
-  o.seed = 0xf1ee7;
+  o.seed = seed;
   const core::ServingHarness h(o);
 
   std::vector<RunSpec> specs;
@@ -223,7 +214,7 @@ int main(int argc, char** argv) {
   // Traces are shared per device count; fleet runs are independent.
   std::vector<std::vector<workload::Request>> traces;
   for (const unsigned d : device_counts) {
-    traces.push_back(make_trace(h, d, duration));
+    traces.push_back(make_trace(h, d, duration, seed));
   }
   auto trace_for = [&](unsigned d) -> const std::vector<workload::Request>& {
     for (size_t i = 0; i < device_counts.size(); ++i) {
@@ -236,7 +227,8 @@ int main(int argc, char** argv) {
   std::vector<RunResult> results(specs.size());
   ThreadPool pool(8);
   pool.parallel_for(specs.size(), [&](size_t i) {
-    results[i] = run_one(h, specs[i], trace_for(specs[i].devices), duration);
+    results[i] =
+        run_one(h, specs[i], trace_for(specs[i].devices), duration, seed);
   });
 
   TextTable t({"GPUs", "placement", "router", "system", "SLO att.",
@@ -275,6 +267,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!json_path.empty()) emit_json(json_path, results, duration, quick);
+  if (!cli.json_path.empty()) {
+    emit_json(cli.json_path, results, duration, quick);
+  }
   return 0;
 }

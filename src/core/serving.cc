@@ -35,59 +35,104 @@ ServingSim::ServingSim(EventQueue& queue, ServingConfig cfg,
 }
 
 void ServingSim::init() {
-  SGDRC_REQUIRE(!tenants_.empty(), "serving needs at least one tenant");
+  // An empty tenant list is legal: fleets create device sims lazily when
+  // an autoscaler or a scenario places the first replica mid-run.
   exec_ = std::make_unique<GpuExecutor>(cfg_.spec, queue_, cfg_.exec_params);
-
-  for (TenantId t = 0; t < tenants_.size(); ++t) {
-    const auto& spec = tenants_[t];
-    if (spec.qos == QosClass::kLatencySensitive) {
-      ls_tenants_.push_back(t);
-    } else {
-      be_tenants_.push_back(t);
-    }
-  }
 
   // SLO multiplier n = services concurrently on the GPU (§9.2): all LS
   // tenants plus the resident BE jobs (one rotating slot, or every BE
-  // tenant when concurrent).
-  const size_t be_slots = cfg_.be_mode == BeMode::kRoundRobin
-                              ? (be_tenants_.empty() ? 0 : 1)
-                              : be_tenants_.size();
-  const double n = cfg_.slo_multiplier > 0.0
-                       ? cfg_.slo_multiplier
-                       : static_cast<double>(ls_tenants_.size() + be_slots);
-
-  instances_.assign(tenants_.size(), 0);
-  free_instances_.assign(tenants_.size(), 0);
-  backlog_.resize(tenants_.size());
-  for (TenantId t = 0; t < tenants_.size(); ++t) {
-    const auto& spec = tenants_[t];
-    workload::TenantMetrics m;
-    m.id = t;
-    m.qos = spec.qos;
-    m.name = spec.model.name;
-    m.letter = spec.model.letter;
-    if (spec.qos == QosClass::kLatencySensitive) {
-      const unsigned instances =
-          spec.instances ? spec.instances : cfg_.ls_instances;
-      SGDRC_REQUIRE(instances >= 1, "need at least one instance");
-      instances_[t] = instances;
-      free_instances_[t] = instances;
-      m.isolated_p99 = spec.isolated_latency;
-      m.slo = static_cast<TimeNs>(
-          n * static_cast<double>(spec.isolated_latency));
-    } else {
-      SGDRC_REQUIRE(!spec.model.kernels.empty(), "BE tenant with no kernels");
-      m.batch = spec.model.batch;
-      m.kernels_per_batch = spec.model.kernels.size();
-      // The BE batch loop is a permanent closed-loop job.
-      Job job;
-      job.id = next_job_++;
-      job.tenant = t;
-      jobs_.push_back(job);
-    }
-    metrics_.tenants.push_back(std::move(m));
+  // tenant when concurrent). Frozen at init so tenants arriving later
+  // get SLOs consistent with the initial co-residency.
+  size_t ls = 0, be = 0;
+  for (const auto& spec : tenants_) {
+    (spec.qos == QosClass::kLatencySensitive ? ls : be) += 1;
   }
+  const size_t be_slots =
+      cfg_.be_mode == BeMode::kRoundRobin ? (be ? 1 : 0) : be;
+  slo_n_ = cfg_.slo_multiplier > 0.0
+               ? cfg_.slo_multiplier
+               : std::max<double>(1.0, static_cast<double>(ls + be_slots));
+
+  for (TenantId t = 0; t < tenants_.size(); ++t) register_tenant(t);
+}
+
+void ServingSim::register_tenant(TenantId t) {
+  const auto& spec = tenants_[t];
+  instances_.push_back(0);
+  free_instances_.push_back(0);
+  backlog_.emplace_back();
+  active_.push_back(1);
+  workload::TenantMetrics m;
+  m.id = t;
+  m.qos = spec.qos;
+  m.name = spec.model.name;
+  m.letter = spec.model.letter;
+  if (spec.qos == QosClass::kLatencySensitive) {
+    ls_tenants_.push_back(t);
+    const unsigned instances =
+        spec.instances ? spec.instances : cfg_.ls_instances;
+    SGDRC_REQUIRE(instances >= 1, "need at least one instance");
+    instances_[t] = instances;
+    free_instances_[t] = instances;
+    m.isolated_p99 = spec.isolated_latency;
+    m.slo = static_cast<TimeNs>(slo_n_ *
+                                static_cast<double>(spec.isolated_latency));
+  } else {
+    SGDRC_REQUIRE(!spec.model.kernels.empty(), "BE tenant with no kernels");
+    be_tenants_.push_back(t);
+    m.batch = spec.model.batch;
+    m.kernels_per_batch = spec.model.kernels.size();
+    // The BE batch loop is a closed-loop job that lives until removal.
+    Job job;
+    job.id = next_job_++;
+    job.tenant = t;
+    jobs_.push_back(job);
+  }
+  metrics_.tenants.push_back(std::move(m));
+}
+
+TenantId ServingSim::add_tenant(const TenantSpec& spec) {
+  tenants_.push_back(spec);
+  const TenantId t = static_cast<TenantId>(tenants_.size() - 1);
+  register_tenant(t);
+  poke();  // a new BE loop starts now; a new LS tenant awaits injects
+  return t;
+}
+
+void ServingSim::remove_tenant(TenantId t) {
+  SGDRC_REQUIRE(t < tenants_.size(), "unknown tenant");
+  SGDRC_REQUIRE(active_[t], "tenant already removed");
+  active_[t] = 0;
+  if (tenants_[t].qos == QosClass::kBestEffort) {
+    // Halt: leave the rotation so round-robin never waits on us...
+    auto it = std::find(be_tenants_.begin(), be_tenants_.end(), t);
+    SGDRC_CHECK(it != be_tenants_.end(), "BE tenant missing from rotation");
+    const size_t idx = static_cast<size_t>(it - be_tenants_.begin());
+    be_tenants_.erase(it);
+    if (be_resident_ > idx) --be_resident_;
+    be_resident_ = be_tenants_.empty() ? 0 : be_resident_ % be_tenants_.size();
+    // ...and stop the in-flight kernel; the invisible loop job is never
+    // launched again.
+    for (auto& job : jobs_) {
+      if (job.tenant == t && job.in_flight && !job.evicting) evict(job.id);
+    }
+  }
+  // LS tenants drain: the *router* above us must stop sending new work
+  // (see the header contract — inject() itself still admits stragglers
+  // that were routed before the removal), and jobs stay visible until
+  // the backlog empties.
+  poke();
+}
+
+void ServingSim::set_slo(TenantId t, TimeNs slo) {
+  SGDRC_REQUIRE(t < tenants_.size() &&
+                    tenants_[t].qos == QosClass::kLatencySensitive,
+                "SLOs apply to LS tenants");
+  metrics_.tenants[t].slo = slo;
+}
+
+TimeNs ServingSim::slo_of(TenantId t) const {
+  return metrics_.tenants.at(t).slo;
 }
 
 workload::ServingMetrics ServingSim::run(
@@ -121,6 +166,9 @@ void ServingSim::inject(TenantId t, TimeNs arrival) {
   SGDRC_REQUIRE(t < tenants_.size() &&
                     tenants_[t].qos == QosClass::kLatencySensitive,
                 "inject targets an LS tenant");
+  // Removed tenants still accept stragglers: a fleet request routed
+  // before the removal may land after it (dispatch hop) and is part of
+  // the drain.
   SGDRC_REQUIRE(arrival <= now(), "injected request arrives in the future");
   ++metrics_.tenants[t].arrived;
   admit_or_backlog(t, arrival);
@@ -145,7 +193,10 @@ void ServingSim::admit(TenantId tenant, TimeNs arrival) {
 }
 
 bool ServingSim::visible(const Job& j) const {
+  // Removed-LS jobs stay visible so admitted work drains; removed-BE
+  // loops vanish so the policy never relaunches them.
   if (qos_of(j) == QosClass::kLatencySensitive) return true;
+  if (!active_[j.tenant] || be_tenants_.empty()) return false;
   return cfg_.be_mode == BeMode::kConcurrent ||
          be_tenants_[be_resident_] == j.tenant;
 }
@@ -210,8 +261,14 @@ std::vector<const gpusim::KernelDesc*> ServingSim::upcoming_kernels(
 }
 
 size_t ServingSim::tenant_count(QosClass qos) const {
-  return qos == QosClass::kLatencySensitive ? ls_tenants_.size()
-                                            : be_tenants_.size();
+  // Active only, for both classes: policies sizing per-class shares
+  // must not reserve capacity for drained tenants. (The all-time slot
+  // count is the no-argument tenant_count().)
+  size_t n = 0;
+  for (TenantId t = 0; t < tenants_.size(); ++t) {
+    if (tenants_[t].qos == qos && active_[t]) ++n;
+  }
+  return n;
 }
 
 ServingSim::Job* ServingSim::job_ptr(JobId id) {
@@ -304,7 +361,10 @@ void ServingSim::complete_ls_job(TenantId tenant, TimeNs arrival) {
 
 void ServingSim::rotate_be(Job& job) {
   job.cursor = 0;  // the batch loop restarts
-  if (cfg_.be_mode == BeMode::kRoundRobin) {
+  // A removed tenant's final batch must not advance the rotation: its
+  // removal already re-aimed be_resident_ at the next live tenant.
+  if (cfg_.be_mode == BeMode::kRoundRobin && active_[job.tenant] &&
+      !be_tenants_.empty()) {
     be_resident_ = (be_resident_ + 1) % be_tenants_.size();
   }
 }

@@ -124,6 +124,26 @@ class ServingSim {
   /// metrics.
   workload::ServingMetrics finish();
 
+  // ------------------------------------------ runtime tenant churn ----
+  // Dynamic scenarios (workload::Scenario) and fleet autoscaling add and
+  // remove tenants while the simulation runs.
+  /// Register a new tenant mid-run. LS tenants get an instance pool and
+  /// an SLO derived from the same multiplier the initial set used; BE
+  /// tenants get a batch loop that the policy starts on the next poke.
+  /// Returns the new dense TenantId (existing ids never shift).
+  TenantId add_tenant(const TenantSpec& spec);
+  /// Retire a tenant. LS tenants drain: routers must stop sending new
+  /// work (stragglers already in a dispatch hop are still admitted), and
+  /// admitted + backlogged requests complete and are recorded. BE
+  /// tenants halt: the batch loop leaves the rotation and its in-flight
+  /// kernel (if any) is evicted. The metrics slot survives removal.
+  void remove_tenant(TenantId t);
+  /// False once remove_tenant(t) has been called.
+  bool tenant_active(TenantId t) const { return active_.at(t) != 0; }
+  /// Runtime SLO changes (scenario scripting, e.g. an SLO tighten).
+  void set_slo(TenantId t, TimeNs slo);
+  TimeNs slo_of(TenantId t) const;
+
   // ------------------------------------------------- policy read API ----
   const gpusim::GpuSpec& spec() const { return cfg_.spec; }
   const ServingConfig& config() const { return cfg_; }
@@ -155,7 +175,10 @@ class ServingSim {
   std::vector<const gpusim::KernelDesc*> upcoming_kernels(
       QosClass qos, size_t window) const;
 
+  /// All tenant slots ever registered (metrics/TenantId space; removal
+  /// never shrinks it).
   size_t tenant_count() const { return tenants_.size(); }
+  /// Active tenants of one class (drained/halted tenants excluded).
   size_t tenant_count(QosClass qos) const;
   bool has_class(QosClass qos) const { return tenant_count(qos) > 0; }
   const TenantSpec& tenant(TenantId t) const { return tenants_.at(t); }
@@ -207,6 +230,7 @@ class ServingSim {
   const Job* job_ptr(JobId id) const;
 
   void init();
+  void register_tenant(TenantId t);
   void arrive(const workload::Request& r);
   void admit(TenantId tenant, TimeNs arrival);
   void admit_or_backlog(TenantId tenant, TimeNs arrival);
@@ -228,11 +252,13 @@ class ServingSim {
 
   std::deque<Job> jobs_;                 // BE loops first, then LS jobs
   std::vector<TenantId> ls_tenants_;     // trace service index → tenant
-  std::vector<TenantId> be_tenants_;     // rotation order
+  std::vector<TenantId> be_tenants_;     // rotation order (active only)
   size_t be_resident_ = 0;               // round-robin position
   std::vector<unsigned> instances_;      // per tenant pool size (LS only)
   std::vector<unsigned> free_instances_; // per tenant (LS slots only)
   std::vector<std::deque<TimeNs>> backlog_;  // queued arrivals per tenant
+  std::vector<char> active_;             // per tenant; 0 after removal
+  double slo_n_ = 1.0;                   // SLO multiplier used at init
   size_t inflight_[2] = {0, 0};          // per QosClass
   TimeNs busy_since_[2] = {0, 0};
   JobId next_job_ = 1;

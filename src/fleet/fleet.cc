@@ -11,7 +11,10 @@ using workload::TenantMetrics;
 FleetSim::FleetSim(FleetConfig cfg, std::vector<FleetTenantSpec> tenants,
                    const PlacementPolicy& placement, Router& router,
                    const PolicyFactory& make_policy)
-    : cfg_(std::move(cfg)), tenants_(std::move(tenants)), router_(router) {
+    : cfg_(std::move(cfg)),
+      tenants_(std::move(tenants)),
+      router_(router),
+      make_policy_(make_policy) {
   SGDRC_REQUIRE(cfg_.devices >= 1, "fleet needs at least one device");
   SGDRC_REQUIRE(!tenants_.empty(), "fleet needs at least one tenant");
   SGDRC_REQUIRE(make_policy != nullptr, "fleet needs a policy factory");
@@ -21,6 +24,7 @@ FleetSim::FleetSim(FleetConfig cfg, std::vector<FleetTenantSpec> tenants,
 
   std::vector<std::vector<core::TenantSpec>> per_device(cfg_.devices);
   replicas_.resize(tenants_.size());
+  retired_.resize(tenants_.size());
   for (unsigned t = 0; t < tenants_.size(); ++t) {
     if (tenants_[t].spec.qos == QosClass::kLatencySensitive) {
       ls_fleet_tenants_.push_back(t);
@@ -36,18 +40,41 @@ FleetSim::FleetSim(FleetConfig cfg, std::vector<FleetTenantSpec> tenants,
   devices_.resize(cfg_.devices);
   for (DeviceId d = 0; d < cfg_.devices; ++d) {
     if (per_device[d].empty()) continue;  // idled by pack placement
-    core::ServingConfig scfg;
-    scfg.spec = cfg_.spec;
-    scfg.exec_params = cfg_.exec_params;
-    scfg.ls_instances = cfg_.ls_instances;
-    scfg.duration = cfg_.duration;
-    scfg.slo_multiplier = cfg_.slo_multiplier;
-    scfg.be_mode = cfg_.be_mode;
-    scfg.seed = device_seed(cfg_.seed, d);
-    policies_[d] = make_policy(cfg_.spec);
+    policies_[d] = make_policy_(cfg_.spec);
     devices_[d] = std::make_unique<core::ServingSim>(
-        queue_, std::move(scfg), per_device[d], *policies_[d]);
+        queue_, device_config(d), per_device[d], *policies_[d]);
   }
+}
+
+core::ServingConfig FleetSim::device_config(DeviceId d) const {
+  core::ServingConfig scfg;
+  scfg.spec = cfg_.spec;
+  scfg.exec_params = cfg_.exec_params;
+  scfg.ls_instances = cfg_.ls_instances;
+  scfg.duration = cfg_.duration;
+  scfg.slo_multiplier = cfg_.slo_multiplier;
+  scfg.be_mode = cfg_.be_mode;
+  scfg.seed = device_seed(cfg_.seed, d);
+  return scfg;
+}
+
+core::ServingSim& FleetSim::ensure_device(DeviceId d) {
+  SGDRC_REQUIRE(d < devices_.size(), "device out of range");
+  if (!devices_[d]) {
+    // A zero-tenant sim cannot derive the SLO multiplier from its
+    // co-residency (there is none yet); without an explicit n its
+    // replicas would get far tighter SLOs than their siblings.
+    SGDRC_REQUIRE(cfg_.slo_multiplier > 0.0,
+                  "placing replicas on an idle device needs an explicit "
+                  "FleetConfig::slo_multiplier");
+    // Brought up mid-run (pack placement idled it at construction).
+    policies_[d] = make_policy_(cfg_.spec);
+    devices_[d] = std::make_unique<core::ServingSim>(
+        queue_, device_config(d), std::vector<core::TenantSpec>{},
+        *policies_[d]);
+    if (begun_) devices_[d]->begin();
+  }
+  return *devices_[d];
 }
 
 const core::ServingSim& FleetSim::device(DeviceId d) const {
@@ -57,7 +84,9 @@ const core::ServingSim& FleetSim::device(DeviceId d) const {
 }
 
 double FleetSim::device_ls_load(DeviceId d) const {
-  const core::ServingSim& sim = device(d);
+  SGDRC_REQUIRE(d < devices_.size(), "device out of range");
+  if (!devices_[d]) return 0.0;
+  const core::ServingSim& sim = *devices_[d];
   double load = 0.0;
   for (workload::TenantId t = 0; t < sim.tenant_count(); ++t) {
     const core::TenantSpec& spec = sim.tenant(t);
@@ -69,11 +98,7 @@ double FleetSim::device_ls_load(DeviceId d) const {
 }
 
 FleetMetrics FleetSim::run(const std::vector<Request>& trace) {
-  router_.reset(tenants_.size());
-  routed_.assign(cfg_.devices, 0);
-  for (auto& dev : devices_) {
-    if (dev) dev->begin();
-  }
+  begin();
   for (const Request& r : trace) {
     SGDRC_REQUIRE(r.service < ls_fleet_tenants_.size(),
                   "request for unknown fleet service");
@@ -81,7 +106,32 @@ FleetMetrics FleetSim::run(const std::vector<Request>& trace) {
     queue_.schedule_at(r.arrival, [this, r] { dispatch(r); });
   }
   queue_.run_until(cfg_.duration);
+  return finish();
+}
 
+void FleetSim::begin() {
+  SGDRC_REQUIRE(!begun_, "fleet already began");
+  begun_ = true;
+  router_.reset(tenants_.size());
+  routed_.assign(cfg_.devices, 0);
+  for (auto& dev : devices_) {
+    if (dev) dev->begin();
+  }
+}
+
+void FleetSim::inject(unsigned service, TimeNs arrival) {
+  SGDRC_REQUIRE(service < ls_fleet_tenants_.size(),
+                "inject for unknown fleet service");
+  dispatch({arrival, service});
+}
+
+void FleetSim::at(TimeNs t, std::function<void()> fn) {
+  queue_.schedule_at(t, std::move(fn));
+}
+
+size_t FleetSim::run_until(TimeNs t) { return queue_.run_until(t); }
+
+FleetMetrics FleetSim::finish() {
   FleetMetrics out;
   out.duration = cfg_.duration;
   out.routed = routed_;
@@ -97,7 +147,11 @@ FleetMetrics FleetSim::run(const std::vector<Request>& trace) {
     }
   }
   for (unsigned t = 0; t < tenants_.size(); ++t) {
-    const auto& reps = replicas_[t];
+    // Active replicas first, then retired ones: a churned tenant keeps
+    // every request it ever served in its merged history.
+    std::vector<Replica> reps = replicas_[t];
+    reps.insert(reps.end(), retired_[t].begin(), retired_[t].end());
+    SGDRC_CHECK(!reps.empty(), "fleet tenant never had a replica");
     const TenantMetrics& first =
         out.devices[reps.front().device].tenants[reps.front().local_tenant];
     TenantMetrics m;
@@ -117,9 +171,80 @@ FleetMetrics FleetSim::run(const std::vector<Request>& trace) {
   return out;
 }
 
+// ------------------------------------------- runtime rescale / churn ----
+
+unsigned FleetSim::add_fleet_tenant(FleetTenantSpec spec,
+                                    const PlacementPolicy& placement) {
+  tenants_.push_back(std::move(spec));
+  replicas_.emplace_back();
+  retired_.emplace_back();
+  const unsigned t = static_cast<unsigned>(tenants_.size() - 1);
+  // Re-place the full list; only the newcomer's row takes effect —
+  // existing replicas never migrate.
+  const Assignment a = placement.place(tenants_, cfg_.devices);
+  SGDRC_CHECK(a.size() == tenants_.size(), "placement skipped a tenant");
+  for (const DeviceId d : a[t]) add_replica(t, d);
+  SGDRC_REQUIRE(!replicas_[t].empty(), "new tenant placed no replicas");
+  assignment_.push_back(a[t]);  // keep assignment() covering every tenant
+  if (tenants_[t].spec.qos == QosClass::kLatencySensitive) {
+    ls_fleet_tenants_.push_back(t);
+  }
+  return t;
+}
+
+void FleetSim::add_replica(unsigned tenant, DeviceId device) {
+  SGDRC_REQUIRE(tenant < tenants_.size(), "unknown fleet tenant");
+  for (const Replica& r : replicas_[tenant]) {
+    SGDRC_REQUIRE(r.device != device,
+                  "tenant already has an active replica on this device");
+  }
+  core::ServingSim& sim = ensure_device(device);
+  const workload::TenantId local = sim.add_tenant(tenants_[tenant].spec);
+  if (tenants_[tenant].spec.qos == QosClass::kLatencySensitive &&
+      slo_factor_ != 1.0) {
+    sim.set_slo(local, static_cast<TimeNs>(
+                           slo_factor_ *
+                           static_cast<double>(sim.slo_of(local))));
+  }
+  replicas_[tenant].push_back({device, local});
+}
+
+void FleetSim::remove_replica(unsigned tenant, DeviceId device) {
+  SGDRC_REQUIRE(tenant < tenants_.size(), "unknown fleet tenant");
+  auto& reps = replicas_[tenant];
+  const auto it =
+      std::find_if(reps.begin(), reps.end(),
+                   [&](const Replica& r) { return r.device == device; });
+  SGDRC_REQUIRE(it != reps.end(), "no active replica on this device");
+  devices_[device]->remove_tenant(it->local_tenant);
+  retired_[tenant].push_back(*it);
+  reps.erase(it);
+}
+
+void FleetSim::remove_fleet_tenant(unsigned tenant) {
+  SGDRC_REQUIRE(tenant < tenants_.size(), "unknown fleet tenant");
+  while (!replicas_[tenant].empty()) {
+    remove_replica(tenant, replicas_[tenant].back().device);
+  }
+}
+
+void FleetSim::set_slo_factor(double factor) {
+  SGDRC_REQUIRE(factor > 0.0, "SLO factor must be positive");
+  slo_factor_ *= factor;
+  for (auto& dev : devices_) {
+    if (!dev) continue;
+    for (workload::TenantId t = 0; t < dev->tenant_count(); ++t) {
+      if (dev->tenant(t).qos != QosClass::kLatencySensitive) continue;
+      dev->set_slo(t, static_cast<TimeNs>(
+                          factor * static_cast<double>(dev->slo_of(t))));
+    }
+  }
+}
+
 void FleetSim::dispatch(const Request& r) {
   const unsigned ft = ls_fleet_tenants_[r.service];
   const auto& reps = replicas_[ft];
+  SGDRC_REQUIRE(!reps.empty(), "request for a tenant with no active replica");
   const size_t pick = router_.route(*this, ft, reps);
   SGDRC_CHECK(pick < reps.size(), "router picked an invalid replica");
   const Replica rep = reps[pick];

@@ -85,7 +85,8 @@ using PolicyFactory =
 class FleetSim {
  public:
   /// `placement` is consulted once, in the constructor; `router` and
-  /// `make_policy`'s products must outlive run().
+  /// `make_policy`'s products must outlive run(). `make_policy` is also
+  /// kept (by copy) for devices brought up lazily mid-run.
   FleetSim(FleetConfig cfg, std::vector<FleetTenantSpec> tenants,
            const PlacementPolicy& placement, Router& router,
            const PolicyFactory& make_policy);
@@ -94,12 +95,56 @@ class FleetSim {
   /// tenants in spec order. Single-shot: one run per FleetSim.
   FleetMetrics run(const std::vector<workload::Request>& trace);
 
+  // -------------------------------------------- external-driver API ----
+  // run() is begin() + scheduled inject()s + run_until() + finish();
+  // dynamic scenarios (workload::Scenario) call the pieces directly and
+  // interleave control actions via at().
+  void begin();
+  /// Route one LS request for `service` (index into the LS fleet tenants)
+  /// arriving at `arrival` (≤ now()).
+  void inject(unsigned service, TimeNs arrival);
+  /// Schedule a control action (tenant churn, SLO change, autoscaler
+  /// tick) on the fleet clock.
+  void at(TimeNs t, std::function<void()> fn);
+  /// Drive the shared queue to `t` (events at exactly `t` still fire).
+  size_t run_until(TimeNs t);
+  /// Stop recording and aggregate — active and retired replicas both
+  /// count, so churned tenants keep their history.
+  FleetMetrics finish();
+
+  // --------------------------------- runtime rescale / re-placement ----
+  /// Admit a new fleet tenant mid-run: the placement policy re-places the
+  /// full tenant list and the new tenant's replicas land on its row
+  /// (existing replicas never move). Returns the fleet tenant index; LS
+  /// tenants also get the next service index.
+  unsigned add_fleet_tenant(FleetTenantSpec spec,
+                            const PlacementPolicy& placement);
+  /// Grow a tenant by one replica on `device` (autoscaler scale-up).
+  /// The device sim is created lazily if pack placement left it idle.
+  void add_replica(unsigned tenant, DeviceId device);
+  /// Retire the replica on `device`: routing stops immediately, admitted
+  /// work drains, metrics survive (autoscaler scale-down).
+  void remove_replica(unsigned tenant, DeviceId device);
+  /// Retire every replica (tenant departure).
+  void remove_fleet_tenant(unsigned tenant);
+  /// Scale every LS SLO fleet-wide (factor < 1 tightens). Replicas added
+  /// later inherit the accumulated factor.
+  void set_slo_factor(double factor);
+
   // ------------------------------------------- router / test read API ----
   unsigned device_count() const { return cfg_.devices; }
   const FleetConfig& config() const { return cfg_; }
   bool device_in_use(DeviceId d) const { return devices_.at(d) != nullptr; }
   const core::ServingSim& device(DeviceId d) const;
+  /// Where each tenant's replicas were first placed: the construction
+  /// placement plus one appended row per runtime arrival. Replica
+  /// rescale does not rewrite it — replicas_of() is the live view.
   const Assignment& assignment() const { return assignment_; }
+  size_t tenant_count() const { return tenants_.size(); }
+  const FleetTenantSpec& fleet_tenant(unsigned t) const {
+    return tenants_.at(t);
+  }
+  /// Active (routable) replicas of a tenant; shrinks on removal.
   const std::vector<Replica>& replicas_of(unsigned tenant) const {
     return replicas_.at(tenant);
   }
@@ -110,22 +155,29 @@ class FleetSim {
     return device(r.device).outstanding(r.local_tenant);
   }
   /// Expected queued LS work on a device: Σ over its LS tenants of
-  /// outstanding × isolated latency (ns of serialized work).
+  /// outstanding × isolated latency (ns of serialized work). Idle
+  /// (sim-less) devices report zero.
   double device_ls_load(DeviceId d) const;
 
  private:
   void dispatch(const workload::Request& r);
+  core::ServingConfig device_config(DeviceId d) const;
+  core::ServingSim& ensure_device(DeviceId d);
 
   FleetConfig cfg_;
   std::vector<FleetTenantSpec> tenants_;
   Router& router_;
+  PolicyFactory make_policy_;
   Assignment assignment_;
   EventQueue queue_;
   std::vector<std::unique_ptr<core::Policy>> policies_;   // per device
   std::vector<std::unique_ptr<core::ServingSim>> devices_;  // null if idle
-  std::vector<std::vector<Replica>> replicas_;  // per fleet tenant
+  std::vector<std::vector<Replica>> replicas_;  // active, per fleet tenant
+  std::vector<std::vector<Replica>> retired_;   // removed, kept for metrics
   std::vector<unsigned> ls_fleet_tenants_;      // service index → tenant
   std::vector<uint64_t> routed_;
+  double slo_factor_ = 1.0;  // accumulated set_slo_factor product
+  bool begun_ = false;
 };
 
 }  // namespace sgdrc::fleet

@@ -7,7 +7,7 @@ namespace sgdrc::fleet {
 size_t RoundRobinRouter::route(const FleetSim& fleet, unsigned tenant,
                                const std::vector<Replica>& replicas) {
   (void)fleet;
-  SGDRC_REQUIRE(tenant < next_.size(), "router not reset for this fleet");
+  if (tenant >= next_.size()) next_.resize(tenant + 1, 0);  // churned in
   const size_t pick = next_[tenant] % replicas.size();
   next_[tenant] = pick + 1;
   return pick;

@@ -36,7 +36,8 @@ class Router {
 };
 
 /// Per-tenant rotation, blind to load — fair under equal replicas, and
-/// the baseline the load-aware strategies must beat under skew.
+/// the baseline the load-aware strategies must beat under skew. Tenants
+/// admitted mid-run (scenario churn) grow the cursor table on demand.
 class RoundRobinRouter : public Router {
  public:
   std::string name() const override { return "round-robin"; }

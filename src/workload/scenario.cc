@@ -1,0 +1,335 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace sgdrc::workload {
+
+// ------------------------------------------------------------ builders ----
+
+Scenario& Scenario::rate(unsigned service, TimeNs at, double multiplier) {
+  SGDRC_REQUIRE(multiplier >= 0.0, "rate multiplier must be non-negative");
+  SGDRC_REQUIRE(at < duration_, "rate step past the scenario end");
+  rate_steps_.push_back({at, service, multiplier});
+  return *this;
+}
+
+Scenario& Scenario::diurnal(double low, double high, unsigned steps) {
+  SGDRC_REQUIRE(steps >= 2 && low >= 0.0 && high >= low,
+                "diurnal needs ≥2 steps and 0 ≤ low ≤ high");
+  constexpr double kPi = 3.14159265358979323846;
+  for (unsigned i = 0; i < steps; ++i) {
+    const double phase = 2.0 * kPi * static_cast<double>(i) /
+                         static_cast<double>(steps);
+    const double m = low + (high - low) * 0.5 * (1.0 - std::cos(phase));
+    rate(kAllServices, duration_ * i / steps, m);
+  }
+  return *this;
+}
+
+Scenario& Scenario::arrive(TimeNs at, ScenarioTenant tenant) {
+  SGDRC_REQUIRE(at < duration_, "arrival past the scenario end");
+  // Arrival order must equal time order: FleetSim assigns service
+  // indices as arrivals fire, and the compiled trace assumes they match.
+  SGDRC_REQUIRE(arrivals_.empty() || arrivals_.back().at <= at,
+                "arrivals must be scripted in time order");
+  arrivals_.push_back({at, std::move(tenant)});
+  return *this;
+}
+
+Scenario& Scenario::depart(TimeNs at, unsigned tenant_index) {
+  SGDRC_REQUIRE(at < duration_, "departure past the scenario end");
+  departures_.push_back({at, tenant_index});
+  return *this;
+}
+
+Scenario& Scenario::slo_factor(TimeNs at, double factor) {
+  SGDRC_REQUIRE(factor > 0.0, "SLO factor must be positive");
+  SGDRC_REQUIRE(at < duration_, "SLO change past the scenario end");
+  slo_changes_.push_back({at, factor});
+  return *this;
+}
+
+Scenario& Scenario::devices(unsigned n) {
+  SGDRC_REQUIRE(n >= 1, "scenario needs at least one device");
+  devices_ = n;
+  return *this;
+}
+
+Scenario& Scenario::autoscale(fleet::AutoscalerOptions opt) {
+  autoscale_ = true;
+  autoscaler_opt_ = opt;
+  return *this;
+}
+
+// ------------------------------------------------------------ compiler ----
+
+namespace {
+
+/// The open-loop lifetime of one LS service within a scenario.
+struct ServiceWindow {
+  unsigned service = 0;  // LS service index (fleet numbering)
+  double base_rate = 0.0;
+  TimeNs from = 0;  // arrival (0 for initial tenants)
+  TimeNs to = 0;    // departure, or the scenario end
+};
+
+TimeNs departure_of(const Scenario& sc, unsigned tenant_index) {
+  TimeNs t = sc.duration();
+  for (const auto& d : sc.departures()) {
+    if (d.tenant == tenant_index) t = std::min(t, d.at);
+  }
+  return t;
+}
+
+std::vector<ServiceWindow> service_windows(
+    const Scenario& sc, const std::vector<ScenarioTenant>& initial) {
+  std::vector<ServiceWindow> out;
+  unsigned service = 0;
+  for (size_t i = 0; i < initial.size(); ++i) {
+    if (initial[i].spec.qos != QosClass::kLatencySensitive) continue;
+    out.push_back({service++, initial[i].base_rate, 0,
+                   departure_of(sc, static_cast<unsigned>(i))});
+  }
+  for (size_t a = 0; a < sc.arrivals().size(); ++a) {
+    const auto& arr = sc.arrivals()[a];
+    const unsigned tenant = static_cast<unsigned>(initial.size() + a);
+    if (arr.tenant.spec.qos != QosClass::kLatencySensitive) continue;
+    out.push_back(
+        {service++, arr.tenant.base_rate, arr.at, departure_of(sc, tenant)});
+  }
+  return out;
+}
+
+uint64_t segment_seed(uint64_t base, unsigned service, size_t segment) {
+  return splitmix64(splitmix64(base + 0x9E3779B97F4A7C15ull *
+                                          (static_cast<uint64_t>(service) +
+                                           1)) +
+                    static_cast<uint64_t>(segment));
+}
+
+}  // namespace
+
+std::vector<Request> build_scenario_trace(
+    const Scenario& scenario, const std::vector<ScenarioTenant>& initial,
+    const ScenarioEngineConfig& cfg) {
+  // Piecewise-constant timeline lookup: the last step at or before `t`
+  // wins (steps are time-sorted, stable, so the later-scripted of two
+  // same-time steps prevails); 1.0 before the first step.
+  const auto value_at = [](const std::vector<std::pair<TimeNs, double>>& v,
+                           TimeNs t) {
+    double m = 1.0;
+    for (const auto& s : v) {
+      if (s.first <= t) m = s.second;
+    }
+    return m;
+  };
+
+  std::vector<Request> out;
+  for (const ServiceWindow& w : service_windows(scenario, initial)) {
+    if (w.base_rate <= 0.0 || w.from >= w.to) continue;
+
+    // Two independent timelines that compose multiplicatively: the
+    // kAllServices baseline (e.g. a diurnal ramp) and the per-service
+    // overlay (e.g. a flash crowd on one service) — so an overlay is
+    // not clobbered by the next baseline step.
+    std::vector<std::pair<TimeNs, double>> all_steps, svc_steps;
+    for (const auto& rs : scenario.rate_steps()) {
+      if (rs.service == Scenario::kAllServices) {
+        all_steps.emplace_back(rs.at, rs.multiplier);
+      } else if (rs.service == w.service) {
+        svc_steps.emplace_back(rs.at, rs.multiplier);
+      }
+    }
+    const auto by_time = [](const auto& a, const auto& b) {
+      return a.first < b.first;
+    };
+    std::stable_sort(all_steps.begin(), all_steps.end(), by_time);
+    std::stable_sort(svc_steps.begin(), svc_steps.end(), by_time);
+
+    std::vector<TimeNs> cuts{w.from};
+    for (const auto* steps : {&all_steps, &svc_steps}) {
+      for (const auto& s : *steps) {
+        if (s.first > w.from && s.first < w.to) cuts.push_back(s.first);
+      }
+    }
+    std::sort(cuts.begin(), cuts.end());
+    cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+    cuts.push_back(w.to);
+
+    for (size_t i = 0; i + 1 < cuts.size(); ++i) {
+      const TimeNs from = cuts[i];
+      const TimeNs to = cuts[i + 1];
+      const double m =
+          value_at(all_steps, from) * value_at(svc_steps, from);
+      if (m <= 0.0 || to <= from) continue;
+      TraceOptions o;
+      o.services = 1;
+      o.duration = to - from;
+      o.per_service_rates = {w.base_rate * m};
+      o.burstiness = cfg.burstiness;
+      o.frame_interval = cfg.frame_interval;
+      o.seed = segment_seed(cfg.seed, w.service, i);
+      for (const Request& r : generate_apollo_like_trace(o)) {
+        out.push_back({r.arrival + from, w.service});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Request& a, const Request& b) {
+    return a.arrival != b.arrival ? a.arrival < b.arrival
+                                  : a.service < b.service;
+  });
+  return out;
+}
+
+// -------------------------------------------------------------- runner ----
+
+ScenarioOutcome run_scenario(const Scenario& scenario,
+                             const std::vector<ScenarioTenant>& initial,
+                             const ScenarioEngineConfig& cfg,
+                             const fleet::PlacementPolicy& placement,
+                             fleet::Router& router,
+                             const fleet::PolicyFactory& make_policy) {
+  SGDRC_REQUIRE(cfg.slo_multiplier > 0.0,
+                "scenarios need an explicit SLO multiplier (tenant churn "
+                "makes the per-device default drift)");
+  SGDRC_REQUIRE(!initial.empty(), "scenario needs initial tenants");
+  const unsigned tenant_space =
+      static_cast<unsigned>(initial.size() + scenario.arrivals().size());
+  for (const auto& d : scenario.departures()) {
+    SGDRC_REQUIRE(d.tenant < tenant_space,
+                  "departure references an unknown tenant");
+    if (d.tenant >= initial.size()) {
+      // A scripted arrival can only depart after it has arrived;
+      // rejecting here beats throwing from inside the event loop.
+      const auto& arr = scenario.arrivals()[d.tenant - initial.size()];
+      SGDRC_REQUIRE(arr.at <= d.at,
+                    "departure scheduled before its tenant's arrival");
+    }
+  }
+
+  fleet::FleetConfig fcfg;
+  fcfg.spec = cfg.spec;
+  fcfg.exec_params = cfg.exec_params;
+  fcfg.devices = scenario.device_count();
+  fcfg.ls_instances = cfg.ls_instances;
+  fcfg.duration = scenario.duration();
+  fcfg.slo_multiplier = cfg.slo_multiplier;
+  fcfg.be_mode = cfg.be_mode;
+  fcfg.seed = cfg.seed;
+  fcfg.dispatch_latency = cfg.dispatch_latency;
+  fcfg.dispatch_jitter = cfg.dispatch_jitter;
+
+  std::vector<fleet::FleetTenantSpec> tenants;
+  tenants.reserve(initial.size());
+  for (const ScenarioTenant& t : initial) {
+    tenants.push_back(fleet::replicated(t.spec, t.replicas));
+  }
+
+  fleet::FleetSim sim(fcfg, std::move(tenants), placement, router,
+                      make_policy);
+  fleet::Autoscaler autoscaler(scenario.autoscaler_options());
+  const std::vector<Request> trace =
+      build_scenario_trace(scenario, initial, cfg);
+
+  sim.begin();
+  if (scenario.autoscaled()) autoscaler.attach(sim);
+  // Control actions are scheduled before same-timestamp injections, so
+  // an arriving service exists before its first request routes.
+  for (const auto& a : scenario.arrivals()) {
+    sim.at(a.at, [&sim, &placement, spec = a.tenant] {
+      sim.add_fleet_tenant(fleet::replicated(spec.spec, spec.replicas),
+                           placement);
+    });
+  }
+  for (const auto& d : scenario.departures()) {
+    sim.at(d.at, [&sim, d] { sim.remove_fleet_tenant(d.tenant); });
+  }
+  for (const auto& s : scenario.slo_changes()) {
+    sim.at(s.at, [&sim, s] { sim.set_slo_factor(s.factor); });
+  }
+  for (const Request& r : trace) {
+    if (r.arrival >= scenario.duration()) continue;
+    sim.at(r.arrival, [&sim, r] { sim.inject(r.service, r.arrival); });
+  }
+  sim.run_until(scenario.duration());
+
+  ScenarioOutcome out;
+  out.metrics = sim.finish();
+  out.requests = trace.size();
+  out.scaling = autoscaler.decisions();
+  return out;
+}
+
+// ------------------------------------------------------------- catalog ----
+
+std::vector<Scenario> scenario_catalog(const ScenarioCatalogOptions& opt) {
+  const TimeNs d = opt.duration;
+  std::vector<Scenario> out;
+
+  out.emplace_back("steady",
+                   "constant load — the static-world sanity check", d);
+  out.back().devices(opt.devices);
+
+  out.emplace_back(
+      "diurnal", "one sine day: every rate swings 0.4x..1.6x in 8 steps", d);
+  out.back().devices(opt.devices).diurnal(0.4, 1.6, 8);
+
+  {
+    Scenario flash("flash-crowd",
+                   "service 0 spikes 5x for 30% of the run; a reactive "
+                   "autoscaler adds and drops replicas",
+                   d);
+    flash.devices(opt.devices + 1)
+        .rate(0, (2 * d) / 5, 5.0)
+        .rate(0, (7 * d) / 10, 1.0);
+    fleet::AutoscalerOptions aso;
+    aso.interval = d / 50;
+    flash.autoscale(aso);
+    out.push_back(std::move(flash));
+  }
+
+  {
+    Scenario churn("tenant-churn",
+                   "services arrive and depart mid-run; replicas drain", d);
+    churn.devices(opt.devices);
+    if (opt.make_ls_arrival) {
+      // The late departure targets the first scripted arrival, indexed
+      // past the initial list — a forgotten initial_tenants would
+      // silently depart initial tenant 0 instead.
+      SGDRC_REQUIRE(opt.initial_tenants > 0,
+                    "scenario_catalog needs initial_tenants when churn "
+                    "arrivals are scripted");
+      churn.arrive(d / 4, opt.make_ls_arrival(0));
+      churn.arrive((3 * d) / 5, opt.make_ls_arrival(1));
+      // The second initial tenant leaves mid-run; the first arrival
+      // leaves near the end (initial list is LS-first by convention).
+      churn.depart(d / 2, 1);
+      churn.depart((17 * d) / 20, opt.initial_tenants);
+    }
+    out.push_back(std::move(churn));
+  }
+
+  {
+    Scenario surge("be-backfill-surge",
+                   "a wave of best-effort batch tenants lands mid-run and "
+                   "stays",
+                   d);
+    surge.devices(opt.devices);
+    if (opt.make_be_arrival) {
+      surge.arrive((2 * d) / 5, opt.make_be_arrival(0));
+      surge.arrive((9 * d) / 20, opt.make_be_arrival(1));
+      surge.arrive(d / 2, opt.make_be_arrival(2));
+    }
+    out.push_back(std::move(surge));
+  }
+
+  out.emplace_back("slo-tighten",
+                   "every LS SLO tightens to 0.6x halfway through", d);
+  out.back().devices(opt.devices).slo_factor(d / 2, 0.6);
+
+  return out;
+}
+
+}  // namespace sgdrc::workload

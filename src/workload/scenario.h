@@ -1,0 +1,180 @@
+// The dynamic-scenario engine: a Scenario scripts *time* — piecewise
+// per-service rate multipliers (diurnal ramps, step spikes, flash
+// crowds), tenant arrivals and departures mid-run, and SLO changes —
+// while the substrate (models, rates, policy, placement, routing) stays
+// a parameter. run_scenario() compiles the script into an open-loop
+// request stream plus a timeline of control actions and drives a
+// FleetSim through its begin()/inject()/at()/finish() hooks, optionally
+// with a reactive Autoscaler in the loop.
+//
+// This is the layer that exercises the "dynamic" half of SGDRC's claim:
+// every benchmark and test that wants a new workload shape writes a
+// Scenario (or picks one from scenario_catalog) instead of hand-rolling
+// a trace.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fleet/autoscaler.h"
+#include "fleet/fleet.h"
+#include "workload/trace.h"
+
+namespace sgdrc::workload {
+
+/// One scripted tenant: the per-device spec, its open-loop base request
+/// rate (req/s at multiplier 1.0; LS only), and its replica count.
+struct ScenarioTenant {
+  core::TenantSpec spec;
+  double base_rate = 0.0;
+  unsigned replicas = 1;
+};
+
+/// A named, scripted dynamic serving scenario. Times are absolute within
+/// [0, duration). Tenant indices refer to the combined fleet list: the
+/// initial tenants passed to run_scenario() in order, then arrivals in
+/// arrival order. LS *service* indices (for rate()) count only LS
+/// tenants, in the same combined order — matching FleetSim's service
+/// numbering.
+class Scenario {
+ public:
+  /// rate() target meaning "every LS service".
+  static constexpr unsigned kAllServices = ~0u;
+
+  Scenario(std::string name, std::string description, TimeNs duration)
+      : name_(std::move(name)),
+        description_(std::move(description)),
+        duration_(duration) {}
+
+  // ------------------------------------------------ timeline builders ----
+  /// Set the rate multiplier of one LS service (or kAllServices) from
+  /// `at` onward. Each timeline is piecewise constant starting at 1.0,
+  /// and the two kinds compose multiplicatively: a service's effective
+  /// multiplier is (kAllServices baseline) × (its own overlay), so a
+  /// per-service flash crowd rides on top of a diurnal ramp instead of
+  /// being clobbered by its next step.
+  Scenario& rate(unsigned service, TimeNs at, double multiplier);
+  /// Diurnal ramp for every service: one sine period over the run,
+  /// sampled as `steps` equal segments between `low` and `high`.
+  Scenario& diurnal(double low, double high, unsigned steps);
+  /// A tenant arrives mid-run; LS arrivals join the open-loop trace at
+  /// `tenant.base_rate` from `at` and take the next service index.
+  Scenario& arrive(TimeNs at, ScenarioTenant tenant);
+  /// A tenant departs: its traffic stops and its replicas drain.
+  /// `tenant_index` is the combined fleet index (see class comment).
+  Scenario& depart(TimeNs at, unsigned tenant_index);
+  /// Multiply every LS SLO by `factor` from `at` (< 1 tightens).
+  Scenario& slo_factor(TimeNs at, double factor);
+  /// Fleet size the scenario expects (default 2).
+  Scenario& devices(unsigned n);
+  /// Put a reactive autoscaler in the loop.
+  Scenario& autoscale(fleet::AutoscalerOptions opt);
+
+  // ------------------------------------------------------- accessors ----
+  struct RateStep {
+    TimeNs at = 0;
+    unsigned service = 0;  // kAllServices = every LS service
+    double multiplier = 1.0;
+  };
+  struct Arrival {
+    TimeNs at = 0;
+    ScenarioTenant tenant;
+  };
+  struct Departure {
+    TimeNs at = 0;
+    unsigned tenant = 0;
+  };
+  struct SloChange {
+    TimeNs at = 0;
+    double factor = 1.0;
+  };
+
+  const std::string& name() const { return name_; }
+  const std::string& description() const { return description_; }
+  TimeNs duration() const { return duration_; }
+  unsigned device_count() const { return devices_; }
+  bool autoscaled() const { return autoscale_; }
+  const fleet::AutoscalerOptions& autoscaler_options() const {
+    return autoscaler_opt_;
+  }
+  const std::vector<RateStep>& rate_steps() const { return rate_steps_; }
+  const std::vector<Arrival>& arrivals() const { return arrivals_; }
+  const std::vector<Departure>& departures() const { return departures_; }
+  const std::vector<SloChange>& slo_changes() const { return slo_changes_; }
+
+ private:
+  std::string name_;
+  std::string description_;
+  TimeNs duration_;
+  unsigned devices_ = 2;
+  bool autoscale_ = false;
+  fleet::AutoscalerOptions autoscaler_opt_;
+  std::vector<RateStep> rate_steps_;
+  std::vector<Arrival> arrivals_;
+  std::vector<Departure> departures_;
+  std::vector<SloChange> slo_changes_;
+};
+
+/// The substrate a scenario runs on. slo_multiplier must be explicit
+/// (> 0): tenants arrive and depart mid-run, so the per-device default
+/// (n = co-resident tenants at init) would drift across scenarios.
+struct ScenarioEngineConfig {
+  gpusim::GpuSpec spec;
+  gpusim::ExecutorParams exec_params;
+  unsigned ls_instances = 4;
+  double slo_multiplier = 0.0;
+  core::BeMode be_mode = core::BeMode::kRoundRobin;
+  uint64_t seed = 0x5ce0;
+  TimeNs dispatch_latency = 0;
+  TimeNs dispatch_jitter = 0;
+  /// Trace shape knobs (forwarded to generate_apollo_like_trace).
+  double burstiness = 0.35;
+  TimeNs frame_interval = 10 * kNsPerMs;
+};
+
+struct ScenarioOutcome {
+  fleet::FleetMetrics metrics;
+  size_t requests = 0;  // open-loop requests compiled from the script
+  std::vector<fleet::Autoscaler::Decision> scaling;
+};
+
+/// Compile a scenario's rate script into the open-loop request stream:
+/// per LS service, piecewise segments between its arrival, every rate
+/// step, and its departure, each generated with a seed derived from
+/// (cfg.seed, service, segment) so runs are reproducible bit-for-bit.
+/// Exposed separately so tests can assert on the stream itself.
+std::vector<Request> build_scenario_trace(
+    const Scenario& scenario, const std::vector<ScenarioTenant>& initial,
+    const ScenarioEngineConfig& cfg);
+
+/// Run one scenario end-to-end on a fleet. `initial` lists the tenants
+/// present at t=0 (LS first is conventional but not required); `router`
+/// and `placement` must outlive the call. The placement policy is also
+/// reused to place mid-run arrivals.
+ScenarioOutcome run_scenario(const Scenario& scenario,
+                             const std::vector<ScenarioTenant>& initial,
+                             const ScenarioEngineConfig& cfg,
+                             const fleet::PlacementPolicy& placement,
+                             fleet::Router& router,
+                             const fleet::PolicyFactory& make_policy);
+
+/// Options for the stock scenario library. The factories mint tenants
+/// for churn arrivals (index = arrival ordinal); they may be empty when
+/// the caller skips the scenarios that need them.
+struct ScenarioCatalogOptions {
+  TimeNs duration = 1 * kNsPerSec;
+  unsigned devices = 2;
+  /// Size of the initial tenant list run_scenario() will receive
+  /// (LS + BE), used to index departures of scripted arrivals.
+  unsigned initial_tenants = 0;
+  std::function<ScenarioTenant(unsigned)> make_ls_arrival;
+  std::function<ScenarioTenant(unsigned)> make_be_arrival;
+};
+
+/// The stock library of ~6 named dynamic scenarios: steady, diurnal,
+/// flash-crowd (5× spike + autoscaler), tenant-churn, BE-backfill-surge,
+/// and SLO-tighten.
+std::vector<Scenario> scenario_catalog(const ScenarioCatalogOptions& opt);
+
+}  // namespace sgdrc::workload

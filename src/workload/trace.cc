@@ -10,6 +10,8 @@ std::vector<Request> generate_apollo_like_trace(const TraceOptions& opt) {
   SGDRC_REQUIRE(opt.services > 0, "trace needs at least one service");
   SGDRC_REQUIRE(opt.scale > 0.0 && opt.rate_per_service > 0.0,
                 "rates must be positive");
+  SGDRC_REQUIRE(opt.burstiness >= 0.0 && opt.burstiness <= 1.0,
+                "burstiness is a fraction");
   Rng rng(opt.seed);
   std::vector<Request> out;
 
@@ -25,30 +27,36 @@ std::vector<Request> generate_apollo_like_trace(const TraceOptions& opt) {
     const TimeNs phase = srng.uniform_u64(opt.frame_interval);
 
     // Burst component: Poisson count at each frame tick, arrivals packed
-    // shortly after the tick (sensor → inference fan-out).
-    for (TimeNs frame = phase; frame < opt.duration;
-         frame += opt.frame_interval) {
-      const double mean_burst = per_frame * opt.burstiness;
-      // Poisson via exponential gaps.
-      double t = 0.0;
-      for (;;) {
-        t += srng.exponential(mean_burst);
-        if (t >= 1.0) break;
-        const TimeNs jitter =
-            from_ms(srng.exponential(1.0));  // ~1ms fan-out tail
-        const TimeNs at = frame + jitter;
-        if (at < opt.duration) out.push_back({at, s});
+    // shortly after the tick (sensor → inference fan-out). Skipped
+    // entirely at burstiness 0 (exponential gaps need a positive rate).
+    const double mean_burst = per_frame * opt.burstiness;
+    if (mean_burst > 0.0) {
+      for (TimeNs frame = phase; frame < opt.duration;
+           frame += opt.frame_interval) {
+        // Poisson via exponential gaps.
+        double t = 0.0;
+        for (;;) {
+          t += srng.exponential(mean_burst);
+          if (t >= 1.0) break;
+          const TimeNs jitter =
+              from_ms(srng.exponential(1.0));  // ~1ms fan-out tail
+          const TimeNs at = frame + jitter;
+          if (at < opt.duration) out.push_back({at, s});
+        }
       }
     }
 
     // Background component: plain Poisson across the whole window.
+    // Skipped entirely at burstiness 1 (everything is in the bursts).
     const double bg_rate = rate * (1.0 - opt.burstiness);  // req/s
-    double t = to_sec(phase);
-    for (;;) {
-      t += srng.exponential(bg_rate);
-      const TimeNs at = from_sec(t);
-      if (at >= opt.duration) break;
-      out.push_back({at, s});
+    if (bg_rate > 0.0) {
+      double t = to_sec(phase);
+      for (;;) {
+        t += srng.exponential(bg_rate);
+        const TimeNs at = from_sec(t);
+        if (at >= opt.duration) break;
+        out.push_back({at, s});
+      }
     }
   }
 

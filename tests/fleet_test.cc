@@ -332,5 +332,86 @@ TEST(Fleet, SingleDeviceFleetMatchesStandaloneServingSim) {
   }
 }
 
+// --------------------------------------------- runtime rescale / churn ----
+
+TEST(Fleet, RuntimeReplicaRescaleConservesRequests) {
+  const auto& z = zoo();
+  std::vector<FleetTenantSpec> tenants{
+      replicated(latency_sensitive_tenant(z.ls_a, z.iso_a, 1), 1)};
+  FleetConfig cfg = small_fleet(2, 200 * kNsPerMs);
+  SpreadPlacement spread;
+  LeastOutstandingRouter lo;
+  FleetSim fleet(cfg, tenants, spread, lo, sgdrc_factory());
+  fleet.begin();
+  for (unsigned i = 0; i < 50; ++i) {
+    const TimeNs at = (i + 1) * 2 * kNsPerMs;
+    fleet.at(at, [&fleet, at] { fleet.inject(0, at); });
+  }
+  // Scale out to device 1 mid-run, then retire the original replica
+  // while traffic still flows: the tail must route to device 1 only.
+  fleet.at(50 * kNsPerMs, [&fleet] { fleet.add_replica(0, 1); });
+  fleet.at(60 * kNsPerMs, [&fleet] { fleet.remove_replica(0, 0); });
+  fleet.run_until(cfg.duration);
+  const auto m = fleet.finish();
+  // Both devices served traffic; nothing was lost across the rescale —
+  // the retired replica drained and its history still counts.
+  EXPECT_GT(m.routed[0], 0u);
+  EXPECT_GT(m.routed[1], 0u);
+  EXPECT_EQ(m.routed[0] + m.routed[1], 50u);
+  EXPECT_EQ(m.tenants[0].arrived, 50u);
+  EXPECT_EQ(m.tenants[0].served, 50u);
+}
+
+TEST(Fleet, RuntimeAddBringsUpPackIdledDevice) {
+  const auto& z = zoo();
+  std::vector<FleetTenantSpec> tenants{
+      replicated(latency_sensitive_tenant(z.ls_a, z.iso_a), 1),
+      replicated(best_effort_tenant(z.be_i), 1)};
+  FleetConfig cfg = small_fleet(2, 100 * kNsPerMs);
+  PackPlacement pack(8);  // everything lands on device 0
+  RoundRobinRouter rr;
+  FleetSim fleet(cfg, tenants, pack, rr, sgdrc_factory());
+  EXPECT_FALSE(fleet.device_in_use(1));
+  fleet.begin();
+  fleet.at(20 * kNsPerMs, [&fleet] { fleet.add_replica(0, 1); });
+  for (unsigned i = 0; i < 20; ++i) {
+    const TimeNs at = 30 * kNsPerMs + i * 3 * kNsPerMs;
+    fleet.at(at, [&fleet, at] { fleet.inject(0, at); });
+  }
+  fleet.run_until(cfg.duration);
+  const auto m = fleet.finish();
+  // The idle device was created lazily and served its share.
+  EXPECT_TRUE(fleet.device_in_use(1));
+  EXPECT_GT(m.routed[1], 0u);
+  EXPECT_EQ(m.tenants[0].served, 20u);
+}
+
+TEST(Fleet, AddFleetTenantReusesThePlacementPolicy) {
+  const auto& z = zoo();
+  std::vector<FleetTenantSpec> tenants{
+      replicated(latency_sensitive_tenant(z.ls_a, z.iso_a), 2)};
+  FleetConfig cfg = small_fleet(2, 100 * kNsPerMs);
+  SpreadPlacement spread;
+  RoundRobinRouter rr;
+  FleetSim fleet(cfg, tenants, spread, rr, sgdrc_factory());
+  fleet.begin();
+  unsigned added = ~0u;
+  fleet.at(10 * kNsPerMs, [&] {
+    added = fleet.add_fleet_tenant(
+        replicated(latency_sensitive_tenant(z.ls_b, z.iso_b), 2), spread);
+  });
+  fleet.run_until(20 * kNsPerMs);
+  ASSERT_EQ(added, 1u);
+  EXPECT_EQ(fleet.tenant_count(), 2u);
+  EXPECT_EQ(fleet.ls_service_count(), 2u);
+  EXPECT_EQ(fleet.replicas_of(1).size(), 2u);
+  // The new service routes like any other.
+  fleet.at(30 * kNsPerMs, [&fleet] { fleet.inject(1, 30 * kNsPerMs); });
+  fleet.run_until(cfg.duration);
+  const auto m = fleet.finish();
+  EXPECT_EQ(m.tenants[1].arrived, 1u);
+  EXPECT_EQ(m.tenants[1].served, 1u);
+}
+
 }  // namespace
 }  // namespace sgdrc::fleet

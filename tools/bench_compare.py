@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json artifacts.
+
+Compares freshly produced bench JSON against the committed baselines in
+bench/baselines/ and fails (exit 1) when
+
+  * any p99 latency metric regresses by more than --p99-tolerance
+    (default 15%), or
+  * any best-effort throughput metric drops by more than --be-tolerance
+    (default 10%), or
+  * a (scenario, system) combination present in the baseline disappears
+    from the current output (shrinking coverage would silently shrink
+    the gate).
+
+The simulation is deterministic (fixed seeds, integer-ns clocks), so in
+practice current == baseline exactly; the tolerances exist so a genuine
+perf-affecting change trips the gate while benign rounding noise never
+does. Improvements (lower p99 / higher BE) always pass — refresh the
+baselines when you want the gate to hold the new line:
+
+    ./fleet_scaling    --quick --json bench/baselines/BENCH_fleet.json
+    ./fig17_end_to_end --quick --json bench/baselines/BENCH_fig17.json
+    ./scenario_sweep   --quick --json bench/baselines/BENCH_scenarios.json
+
+Override: label the PR `perf-gate-override` (documented in README) to
+skip the gate on the PR run for intentional regressions. The label
+cannot reach the push-to-main run, so refresh the baselines before
+merging to keep main green.
+
+Usage:
+    tools/bench_compare.py BASELINE_DIR CURRENT_DIR [options]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+# Values below this (ms / samples-per-s) are too small for a relative
+# gate to be meaningful; they are compared with slack instead.
+ABS_P99_FLOOR_MS = 0.05
+ABS_BE_FLOOR = 1.0
+
+
+def records_fleet(doc):
+    """fleet_scaling: one record per sweep cell."""
+    for run in doc.get("runs", []):
+        key = ("fleet", run["devices"], run["placement"], run["router"],
+               run["system"])
+        yield key, {"p99_ms": run.get("fleet_p99_ms"),
+                    "be": run.get("be_samples_per_s")}
+
+
+def records_fig17(doc):
+    """fig17_end_to_end: one record per (gpu, load, system), with
+    per-model p99 sub-records."""
+    for sc in doc.get("scenarios", []):
+        for system in sc.get("systems", []):
+            base = ("fig17", sc["gpu"], sc["load"], system["name"])
+            yield base, {"be": system.get("be_samples_per_s")}
+            for model, p99 in system.get("p99_ms", {}).items():
+                yield base + (model,), {"p99_ms": p99}
+
+
+def records_scenarios(doc):
+    """scenario_sweep: one record per (scenario, system)."""
+    for sc in doc.get("scenarios", []):
+        for system in sc.get("systems", []):
+            yield ("scenario", sc["name"], system["name"]), {
+                "p99_ms": system.get("fleet_p99_ms"),
+                "be": system.get("be_samples_per_s"),
+            }
+
+
+EXTRACTORS = {
+    "fleet_scaling": records_fleet,
+    "fig17_end_to_end": records_fig17,
+    "scenario_sweep": records_scenarios,
+}
+
+
+def extract(path):
+    doc = json.loads(path.read_text())
+    bench = doc.get("bench")
+    if bench not in EXTRACTORS:
+        raise SystemExit(f"{path}: unknown bench kind {bench!r}")
+    out = {}
+    for key, metrics in EXTRACTORS[bench](doc):
+        out.setdefault(key, {}).update(
+            {k: v for k, v in metrics.items() if v is not None})
+    return out
+
+
+def compare(name, base, cur, p99_tol, be_tol):
+    failures = []
+
+    def keystr(key):
+        return "/".join(str(k) for k in key)
+
+    for key, bm in sorted(base.items()):
+        cm = cur.get(key)
+        if cm is None:
+            failures.append(f"{name}: {keystr(key)}: present in baseline "
+                            "but missing from current output")
+            continue
+        b99, c99 = bm.get("p99_ms"), cm.get("p99_ms")
+        if b99 is not None and c99 is not None and b99 > 0:
+            limit = max(b99 * (1.0 + p99_tol), b99 + ABS_P99_FLOOR_MS)
+            if c99 > limit:
+                failures.append(
+                    f"{name}: {keystr(key)}: p99 {c99:.3f} ms vs baseline "
+                    f"{b99:.3f} ms (+{100.0 * (c99 / b99 - 1.0):.1f}%, "
+                    f"limit +{100.0 * p99_tol:.0f}%)")
+        bbe, cbe = bm.get("be"), cm.get("be")
+        if bbe is not None and cbe is not None and bbe > ABS_BE_FLOOR:
+            limit = bbe * (1.0 - be_tol)
+            if cbe < limit:
+                failures.append(
+                    f"{name}: {keystr(key)}: BE throughput {cbe:.1f}/s vs "
+                    f"baseline {bbe:.1f}/s "
+                    f"({100.0 * (cbe / bbe - 1.0):.1f}%, limit "
+                    f"-{100.0 * be_tol:.0f}%)")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline_dir", type=pathlib.Path)
+    ap.add_argument("current_dir", type=pathlib.Path)
+    ap.add_argument("--p99-tolerance", type=float, default=0.15,
+                    help="max allowed relative p99 growth (default 0.15)")
+    ap.add_argument("--be-tolerance", type=float, default=0.10,
+                    help="max allowed relative BE-throughput drop "
+                         "(default 0.10)")
+    args = ap.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        raise SystemExit(f"no BENCH_*.json baselines in {args.baseline_dir}")
+
+    failures = []
+    checked = 0
+    for bpath in baselines:
+        cpath = args.current_dir / bpath.name
+        if not cpath.exists():
+            failures.append(f"{bpath.name}: no current output at {cpath}")
+            continue
+        base = extract(bpath)
+        cur = extract(cpath)
+        failures.extend(
+            compare(bpath.name, base, cur, args.p99_tolerance,
+                    args.be_tolerance))
+        checked += len(base)
+
+    if failures:
+        print(f"PERF GATE FAILED ({len(failures)} regression(s) across "
+              f"{checked} baseline records):")
+        for f in failures:
+            print(f"  {f}")
+        print("\nIf this regression is intentional, refresh the baselines "
+              "(see tools/bench_compare.py docstring) or add the "
+              "`perf-gate-override` label to the PR.")
+        return 1
+    print(f"perf gate passed: {checked} baseline records within tolerance "
+          f"(p99 +{100.0 * args.p99_tolerance:.0f}%, "
+          f"BE -{100.0 * args.be_tolerance:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,17 +19,22 @@
 
 #include "bench_cli.h"
 
-#include "baselines/baseline_policies.h"
+#include "baselines/registry.h"
 #include "common/json.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "core/harness.h"
-#include "core/sgdrc_policy.h"
 
 using namespace sgdrc;
 using namespace sgdrc::core;
 
 namespace {
+
+// The Fig. 17 six, in column order (SGDRC last: the normalisation
+// anchor). Construction and SPT metadata come from the shared registry.
+constexpr const char* kFig17Systems[] = {"Multi-streaming", "TGS",
+                                         "MPS",             "Orion",
+                                         "SGDRC (Static)",  "SGDRC"};
 
 struct SystemResult {
   std::string name;
@@ -44,41 +49,13 @@ struct ScenarioResult {
 
 std::vector<SystemResult> run_all(const ServingHarness& h,
                                   const gpusim::GpuSpec& spec) {
-  std::vector<SystemResult> out(6);
-  ThreadPool pool(6);
-  pool.parallel_for(6, [&](size_t i) {
-    switch (i) {
-      case 0: {
-        baselines::MultiStreamPolicy p;
-        out[i] = {"Multi-streaming", h.run(p, false)};
-        break;
-      }
-      case 1: {
-        baselines::TgsPolicy p;
-        out[i] = {"TGS", h.run(p, false)};
-        break;
-      }
-      case 2: {
-        baselines::MpsPolicy p(spec);
-        out[i] = {"MPS", h.run(p, false)};
-        break;
-      }
-      case 3: {
-        baselines::OrionPolicy p;
-        out[i] = {"Orion", h.run(p, false)};
-        break;
-      }
-      case 4: {
-        SgdrcStaticPolicy p(spec);
-        out[i] = {"SGDRC (Static)", h.run(p, true)};
-        break;
-      }
-      case 5: {
-        SgdrcPolicy p(spec);
-        out[i] = {"SGDRC", h.run(p, true)};
-        break;
-      }
-    }
+  const size_t n = std::size(kFig17Systems);
+  std::vector<SystemResult> out(n);
+  ThreadPool pool(n);
+  pool.parallel_for(n, [&](size_t i) {
+    const auto& sys = baselines::system(kFig17Systems[i]);
+    const auto controller = sys.make(spec);
+    out[i] = {sys.name, h.run(*controller, sys.uses_spt)};
   });
   return out;
 }

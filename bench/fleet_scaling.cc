@@ -19,12 +19,11 @@
 
 #include "bench_cli.h"
 
-#include "baselines/baseline_policies.h"
+#include "baselines/registry.h"
 #include "common/json.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "core/harness.h"
-#include "core/sgdrc_policy.h"
 #include "fleet/fleet.h"
 
 using namespace sgdrc;
@@ -87,7 +86,7 @@ std::vector<FleetTenantSpec> make_tenants(const core::ServingHarness& h,
 RunResult run_one(const core::ServingHarness& h, const RunSpec& spec,
                   const std::vector<workload::Request>& trace,
                   TimeNs duration, uint64_t seed) {
-  const bool sgdrc = spec.system == "SGDRC";
+  const auto& sys = baselines::system(spec.system);
   FleetConfig cfg;
   cfg.spec = h.options().spec;
   cfg.exec_params = h.options().exec_params;
@@ -102,13 +101,8 @@ RunResult run_one(const core::ServingHarness& h, const RunSpec& spec,
 
   const auto placement = make_placement(spec.placement);
   const auto router = make_router(spec.router);
-  const PolicyFactory factory =
-      [sgdrc](const gpusim::GpuSpec& gs) -> std::unique_ptr<core::Policy> {
-    if (sgdrc) return std::make_unique<core::SgdrcPolicy>(gs);
-    return std::make_unique<baselines::MultiStreamPolicy>();
-  };
-  FleetSim sim(cfg, make_tenants(h, spec.devices, sgdrc), *placement,
-               *router, factory);
+  FleetSim sim(cfg, make_tenants(h, spec.devices, sys.uses_spt), *placement,
+               *router, sys.make);
   return {spec, sim.run(trace)};
 }
 

@@ -13,13 +13,12 @@
 #include <string>
 #include <vector>
 
-#include "baselines/baseline_policies.h"
+#include "baselines/registry.h"
 #include "bench_cli.h"
 #include "common/json.h"
 #include "common/table.h"
 #include "common/thread_pool.h"
 #include "core/harness.h"
-#include "core/sgdrc_policy.h"
 #include "models/zoo.h"
 #include "workload/scenario.h"
 
@@ -35,32 +34,18 @@ namespace {
 constexpr const char* kSystems[] = {"SGDRC", "SGDRC (Static)", "MPS",
                                     "Multi-streaming"};
 
+// Construction and classification come from the shared registry: SPT
+// selection (SGDRC variants run transformed kernels) and the
+// static-partitioning flag the headline comparison keys on.
 bool is_static(const std::string& system) {
-  return system == "SGDRC (Static)" || system == "MPS";
+  return baselines::system(system).static_partitioning;
 }
 bool uses_spt(const std::string& system) {
-  return system == "SGDRC" || system == "SGDRC (Static)";
+  return baselines::system(system).uses_spt;
 }
 
-fleet::PolicyFactory factory_for(const std::string& system) {
-  if (system == "SGDRC") {
-    return [](const gpusim::GpuSpec& gs) -> std::unique_ptr<core::Policy> {
-      return std::make_unique<core::SgdrcPolicy>(gs);
-    };
-  }
-  if (system == "SGDRC (Static)") {
-    return [](const gpusim::GpuSpec& gs) -> std::unique_ptr<core::Policy> {
-      return std::make_unique<core::SgdrcStaticPolicy>(gs);
-    };
-  }
-  if (system == "MPS") {
-    return [](const gpusim::GpuSpec& gs) -> std::unique_ptr<core::Policy> {
-      return std::make_unique<baselines::MpsPolicy>(gs);
-    };
-  }
-  return [](const gpusim::GpuSpec&) -> std::unique_ptr<core::Policy> {
-    return std::make_unique<baselines::MultiStreamPolicy>();
-  };
+fleet::ControllerFactory factory_for(const std::string& system) {
+  return baselines::system(system).make;
 }
 
 /// Initial tenant mix (LS first — the catalog's churn script departs

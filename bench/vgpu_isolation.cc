@@ -1,0 +1,182 @@
+// vGPU quota isolation: a latency-sensitive tenant with a declared
+// VgpuSpec guarantee (hard TPC region + channel share) against an
+// adversarial flood of N concurrent best-effort batch tenants, swept
+// over flood sizes × systems:
+//
+//   * SGDRC + quota   — the software-defined vGPU: the enforcer carves
+//                       the region, the plan-emitting controller keeps
+//                       the tide out of it;
+//   * SGDRC           — same controller, no guarantees (pure tidal
+//                       sharing — the pre-quota behaviour);
+//   * Multi-streaming — no control at all; its traced plans trespass
+//                       the regions, which the enforcer counts.
+//
+// The headline: with the quota, the LS tenant's p99 stays within its
+// SLO in *every* flood cell while best-effort soaks the residual TPCs;
+// without it, the flood drags the tail over the SLO as N grows.
+//
+//   ./vgpu_isolation [--quick] [--json BENCH_vgpu.json] [--seed N]
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "bench_cli.h"
+#include "common/json.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "core/harness.h"
+
+using namespace sgdrc;
+using namespace sgdrc::core;
+
+namespace {
+
+struct Cell {
+  unsigned be_tenants = 1;
+  std::string system;   // registry key
+  bool quota = false;   // attach the VgpuSpec guarantee to the LS tenant
+};
+
+struct CellResult {
+  Cell cell;
+  workload::ServingMetrics metrics;
+  TimeNs slo = 0;
+};
+
+std::string label(const Cell& c) {
+  return c.quota ? c.system + " + quota" : c.system;
+}
+
+/// The guarantee under test: all but three SMs hard-reserved plus a 60%
+/// channel share for the LS tenant — the flood lives off the residual.
+/// (On the A2000's 2-channel groups the 60% share resolves to the same
+/// 4/6 LS split as the controller default; declaring it pins that floor
+/// against any regression that would hand BE a wider ChBE.)
+control::VgpuSpec ls_guarantee(const gpusim::GpuSpec& spec) {
+  return {/*guaranteed_tpcs=*/spec.num_tpcs - 3,
+          /*channel_share=*/0.6, /*weight=*/1.0, /*priority=*/1};
+}
+
+CellResult run_cell(const ServingHarness& h, const Cell& cell,
+                    double slo_multiplier) {
+  const auto& sys = baselines::system(cell.system);
+  ServingSimBuilder b;
+  b.gpu(h.options().spec)
+      .duration(h.options().duration)
+      .slo_multiplier(slo_multiplier)
+      .best_effort_mode(BeMode::kConcurrent)
+      .seed(h.options().seed);
+  b.add_latency_sensitive(sys.uses_spt ? h.ls_model_spt(0) : h.ls_model(0),
+                          h.isolated_latency(0));
+  if (cell.quota) b.quota(ls_guarantee(h.options().spec));
+  for (unsigned i = 0; i < cell.be_tenants; ++i) {
+    const size_t m = i % h.be_count();  // cycle I, J, K, I, ...
+    b.add_best_effort(sys.uses_spt ? h.be_model_spt(m) : h.be_model(m));
+  }
+  const auto controller = sys.make(h.options().spec);
+  auto sim = b.build(*controller);
+  const TimeNs slo = sim->slo_of(0);
+  return {cell, sim->run(h.trace()), slo};
+}
+
+void emit_json(const std::string& path, const std::vector<CellResult>& all,
+               TimeNs duration, bool quick, unsigned quota_slo_ok,
+               unsigned quota_cells) {
+  std::ofstream os(path);
+  SGDRC_REQUIRE(os.good(), "cannot open JSON output path");
+  JsonWriter j(os);
+  j.begin_object();
+  j.kv("bench", "vgpu_isolation");
+  j.kv("quick", quick);
+  j.kv("duration_ms", to_ms(duration));
+  j.kv("quota_cells_within_slo", static_cast<uint64_t>(quota_slo_ok));
+  j.kv("quota_cells", static_cast<uint64_t>(quota_cells));
+  j.key("cells").begin_array();
+  for (const auto& r : all) {
+    const auto& ls = r.metrics.tenants[0];
+    j.begin_object();
+    j.kv("be_tenants", r.cell.be_tenants);
+    j.kv("system", label(r.cell));
+    j.kv("quota", r.cell.quota);
+    j.kv("p99_ms", ls.p99_ms());
+    j.kv("slo_ms", to_ms(r.slo));
+    j.kv("slo_ok", ls.p99_ms() <= to_ms(r.slo));
+    j.kv("attainment", ls.attainment());
+    j.kv("be_samples_per_s", r.metrics.be_throughput());
+    j.kv("guarantee_violations", r.metrics.guarantee_violations);
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  std::printf("wrote %s (%zu cells)\n", path.c_str(), all.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto cli = sgdrc::bench::BenchCli::parse(argc, argv);
+  const uint64_t seed = cli.seed_or(0x96b0);
+  const TimeNs duration = cli.quick ? 250 * kNsPerMs : 1 * kNsPerSec;
+  const std::vector<unsigned> floods =
+      cli.quick ? std::vector<unsigned>{1, 4} : std::vector<unsigned>{1, 2, 4, 8};
+  // A fixed SLO that does NOT grow with the flood size — the adversarial
+  // part: more BE tenants do not buy the LS tenant any slack.
+  const double slo_multiplier = 6.5;
+
+  HarnessOptions o;
+  o.spec = gpusim::rtx_a2000();
+  o.ls_letters = "A";
+  o.be_letters = "IJK";
+  o.utilization = 0.3;
+  o.burstiness = 0.35;
+  o.duration = duration;
+  o.seed = seed;
+  const ServingHarness h(o);
+
+  std::vector<Cell> cells;
+  for (const unsigned n : floods) {
+    cells.push_back({n, "SGDRC", true});
+    cells.push_back({n, "SGDRC", false});
+    cells.push_back({n, "Multi-streaming", false});
+  }
+  const auto guar = ls_guarantee(o.spec);
+  std::printf("vGPU isolation on %s: LS model A (quota: %u/%u TPCs, "
+              "%.0f%% channels, SLO %.1fx iso) vs a concurrent BE flood\n",
+              o.spec.name.c_str(), guar.guaranteed_tpcs, o.spec.num_tpcs,
+              100.0 * guar.channel_share, slo_multiplier);
+
+  std::vector<CellResult> results(cells.size());
+  ThreadPool pool(8);
+  pool.parallel_for(cells.size(), [&](size_t i) {
+    results[i] = run_cell(h, cells[i], slo_multiplier);
+  });
+
+  TextTable t({"BE flood", "system", "p99 ms", "SLO ms", "SLO?", "att.",
+               "BE samples/s", "violations"});
+  unsigned quota_slo_ok = 0, quota_cells = 0;
+  for (const auto& r : results) {
+    const auto& ls = r.metrics.tenants[0];
+    const bool ok = ls.p99_ms() <= to_ms(r.slo);
+    if (r.cell.quota) {
+      ++quota_cells;
+      quota_slo_ok += ok;
+    }
+    t.add_row({std::to_string(r.cell.be_tenants), label(r.cell),
+               TextTable::num(ls.p99_ms(), 2), TextTable::num(to_ms(r.slo), 2),
+               ok ? "yes" : "NO", TextTable::pct(ls.attainment()),
+               TextTable::num(r.metrics.be_throughput(), 1),
+               std::to_string(r.metrics.guarantee_violations)});
+  }
+  t.print();
+
+  std::printf("\nguaranteed-quota LS tenant within SLO in %u of %u flood "
+              "cells; best-effort soaks the residual in every one.\n",
+              quota_slo_ok, quota_cells);
+  if (!cli.json_path.empty()) {
+    emit_json(cli.json_path, results, duration, cli.quick, quota_slo_ok,
+              quota_cells);
+  }
+  return quota_slo_ok == quota_cells ? 0 : 1;
+}

@@ -82,7 +82,7 @@ int main() {
   fleet::QosLoadAwareRouter router;
   const auto out = run_scenario(
       sc, initial, cfg, placement, router,
-      [](const gpusim::GpuSpec& gs) -> std::unique_ptr<core::Policy> {
+      [](const gpusim::GpuSpec& gs) -> std::unique_ptr<control::Controller> {
         return std::make_unique<core::SgdrcPolicy>(gs);
       });
 

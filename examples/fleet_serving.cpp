@@ -123,7 +123,7 @@ int main() {
               to_ms(kSpikeStart), to_ms(kSpikeEnd));
 
   const PolicyFactory sgdrc_per_device =
-      [](const gpusim::GpuSpec& gs) -> std::unique_ptr<core::Policy> {
+      [](const gpusim::GpuSpec& gs) -> std::unique_ptr<control::Controller> {
     return std::make_unique<core::SgdrcPolicy>(gs);
   };
 

@@ -1,0 +1,64 @@
+#include "baselines/registry.h"
+
+#include "baselines/baseline_policies.h"
+#include "core/sgdrc_policy.h"
+
+namespace sgdrc::baselines {
+
+namespace {
+
+/// Legacy imperative policies enter the control plane through an owning
+/// LegacyPolicyAdapter (control::adapt); the SGDRC variants are native
+/// plan-emitting controllers.
+template <typename P, typename... Args>
+control::ControllerFactory adapted(Args... args) {
+  return [=](const gpusim::GpuSpec&) {
+    return control::adapt(std::make_unique<P>(args...));
+  };
+}
+
+std::vector<SystemSpec> build_registry() {
+  std::vector<SystemSpec> r;
+  r.push_back({"Multi-streaming", false, false, adapted<MultiStreamPolicy>()});
+  r.push_back({"TGS", false, false, adapted<TgsPolicy>()});
+  r.push_back({"MPS", false, true,
+               [](const gpusim::GpuSpec& gs) {
+                 return control::adapt(std::make_unique<MpsPolicy>(gs));
+               }});
+  r.push_back({"Orion", false, false, adapted<OrionPolicy>()});
+  r.push_back({"SGDRC (Static)", true, true,
+               [](const gpusim::GpuSpec& gs)
+                   -> std::unique_ptr<control::Controller> {
+                 return std::make_unique<core::SgdrcStaticPolicy>(gs);
+               }});
+  r.push_back({"SGDRC", true, false,
+               [](const gpusim::GpuSpec& gs)
+                   -> std::unique_ptr<control::Controller> {
+                 return std::make_unique<core::SgdrcPolicy>(gs);
+               }});
+  r.push_back({"Temporal (TGS-like)", false, false,
+               adapted<TemporalPolicy>()});
+  return r;
+}
+
+}  // namespace
+
+const std::vector<SystemSpec>& system_registry() {
+  static const std::vector<SystemSpec> registry = build_registry();
+  return registry;
+}
+
+const SystemSpec& system(const std::string& name) {
+  for (const auto& s : system_registry()) {
+    if (s.name == name) return s;
+  }
+  SGDRC_REQUIRE(false, "unknown system: " + name);
+  return system_registry().front();  // unreachable
+}
+
+std::unique_ptr<control::Controller> make_system(
+    const std::string& name, const gpusim::GpuSpec& spec) {
+  return system(name).make(spec);
+}
+
+}  // namespace sgdrc::baselines

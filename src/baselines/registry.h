@@ -1,0 +1,43 @@
+// Name-keyed registry of every system under evaluation — SGDRC, its
+// static ablation, and the Fig. 17 baselines — as ControllerFactories,
+// so benches, examples, the conformance suite, and fleet drivers stop
+// hand-rolling the same construction lambdas. One entry carries the
+// evaluation metadata that used to be duplicated per bench: whether the
+// system runs SPT-transformed models (SGDRC variants pay the §9.1.2
+// overhead) and whether it counts as a "static partitioning" baseline
+// in the scenario sweep's headline comparison.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "control/controller.h"
+
+namespace sgdrc::baselines {
+
+struct SystemSpec {
+  /// Registry key; equals the controller's name() (and the name printed
+  /// in every bench table / BENCH_*.json record).
+  std::string name;
+  /// Run SPT-transformed model variants (SGDRC and SGDRC (Static)).
+  bool uses_spt = false;
+  /// Static-partitioning baseline class (scenario_sweep's headline
+  /// compares dynamic SGDRC against the best of these).
+  bool static_partitioning = false;
+  /// Builds a fresh controller (stateful — one per device / run).
+  control::ControllerFactory make;
+};
+
+/// Every registered system, in Fig. 17 column order: Multi-streaming,
+/// TGS, MPS, Orion, SGDRC (Static), SGDRC — plus Temporal (the Fig. 4a
+/// exclusivity reference, not part of the Fig. 17 six).
+const std::vector<SystemSpec>& system_registry();
+
+/// Look a system up by name; throws ConfigError for unknown names.
+const SystemSpec& system(const std::string& name);
+
+/// Convenience: a fresh controller for `name` on `spec`.
+std::unique_ptr<control::Controller> make_system(
+    const std::string& name, const gpusim::GpuSpec& spec);
+
+}  // namespace sgdrc::baselines

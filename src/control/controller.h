@@ -1,0 +1,140 @@
+// The policy half of the software-defined control plane. A Controller
+// looks at the world through a SimView and answers with a declarative
+// ResourcePlan; the enforcer inside core::ServingSim compiles the plan
+// into executor launches / eviction flags and validates guarantees. The
+// split is deliberate (Gilman & Walls: separate mechanism from policy):
+// controllers never touch the executor, so guarantees can be checked in
+// one place, plans can be logged/tested as data, and the same controller
+// runs under the standalone sim, the fleet layer, and the scenario
+// engine unchanged.
+//
+// Legacy imperative policies (core::Policy — every Fig. 17 baseline)
+// keep working through LegacyPolicyAdapter: the adapter runs the policy
+// against the live sim in trace mode and returns the traced plan marked
+// pre_applied, so behaviour is bit-for-bit what it was before the
+// redesign while still flowing through the Controller interface.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "control/plan.h"
+#include "core/serving.h"
+
+namespace sgdrc::control {
+
+/// Read-only window onto one device's serving state — everything a
+/// controller may base a plan on. It deliberately re-exports the
+/// ServingSim read API rather than copying state: plans are recomputed
+/// after every event, so a snapshot would be stale by construction.
+class SimView {
+ public:
+  explicit SimView(core::ServingSim& sim) : sim_(&sim) {}
+
+  TimeNs now() const { return sim_->now(); }
+  const gpusim::GpuSpec& spec() const { return sim_->spec(); }
+  const core::ServingConfig& config() const { return sim_->config(); }
+
+  std::vector<core::ServingSim::JobView> jobs() const { return sim_->jobs(); }
+  std::vector<core::ServingSim::JobView> jobs(workload::QosClass q) const {
+    return sim_->jobs(q);
+  }
+  std::vector<core::ServingSim::JobView> waiting_jobs(
+      workload::QosClass q) const {
+    return sim_->waiting_jobs(q);
+  }
+  std::optional<core::ServingSim::JobView> find_job(workload::JobId id) const {
+    return sim_->find_job(id);
+  }
+  size_t inflight(workload::QosClass q) const { return sim_->inflight(q); }
+  std::vector<gpusim::GpuExecutor::RunningInfo> running_infos() const {
+    return sim_->exec().running_infos();
+  }
+
+  size_t tenant_count() const { return sim_->tenant_count(); }
+  size_t tenant_count(workload::QosClass q) const {
+    return sim_->tenant_count(q);
+  }
+  bool has_class(workload::QosClass q) const { return sim_->has_class(q); }
+  bool tenant_active(workload::TenantId t) const {
+    return sim_->tenant_active(t);
+  }
+  const core::TenantSpec& tenant(workload::TenantId t) const {
+    return sim_->tenant(t);
+  }
+  const VgpuSpec& vgpu(workload::TenantId t) const {
+    return sim_->tenant(t).vgpu;
+  }
+  /// The concrete TPC region backing a tenant's guarantee (empty mask
+  /// when unguaranteed). Regions are carved by the enforcer, not the
+  /// controller, so every controller sees the same geometry.
+  gpusim::TpcMask guaranteed_mask(workload::TenantId t) const {
+    return sim_->guaranteed_mask(t);
+  }
+  /// Union of all active guaranteed regions of one class.
+  gpusim::TpcMask guaranteed_union(workload::QosClass q) const {
+    return sim_->guaranteed_union(q);
+  }
+
+  /// Escape hatch for LegacyPolicyAdapter only: run an imperative
+  /// core::Policy against the live sim, tracing its launch/evict/poke
+  /// calls into a pre-applied ResourcePlan. Native controllers must not
+  /// call this.
+  ResourcePlan trace_legacy(core::Policy& policy) const {
+    return sim_->trace_policy(policy);
+  }
+
+ private:
+  core::ServingSim* sim_;
+};
+
+/// The scheduling brain. plan() is invoked after every state change
+/// (request arrival, kernel completion, eviction landing, BE rotation,
+/// wake_at firing); like the old Policy::schedule it must be idempotent —
+/// look at the view, say what should run now.
+class Controller {
+ public:
+  virtual ~Controller() = default;
+  virtual std::string name() const = 0;
+  virtual ResourcePlan plan(const SimView& view) = 0;
+};
+
+/// Runs a legacy imperative core::Policy under the Controller interface.
+/// The policy acts on the sim directly (identical behaviour to the
+/// pre-redesign Policy path); the traced plan is returned pre_applied so
+/// the enforcer treats it as a log. Owning and non-owning flavours.
+class LegacyPolicyAdapter : public Controller {
+ public:
+  explicit LegacyPolicyAdapter(core::Policy& policy) : policy_(&policy) {}
+  explicit LegacyPolicyAdapter(std::unique_ptr<core::Policy> policy)
+      : owned_(std::move(policy)), policy_(owned_.get()) {
+    SGDRC_REQUIRE(policy_ != nullptr, "adapter needs a policy");
+  }
+
+  std::string name() const override { return policy_->name(); }
+  ResourcePlan plan(const SimView& view) override {
+    return view.trace_legacy(*policy_);
+  }
+
+  core::Policy& policy() { return *policy_; }
+
+ private:
+  std::unique_ptr<core::Policy> owned_;  // null when non-owning
+  core::Policy* policy_;
+};
+
+/// Builds one controller per device — fleets hand every GPU its own
+/// instance because controllers are stateful (tidal clocks, cursors).
+using ControllerFactory =
+    std::function<std::unique_ptr<Controller>(const gpusim::GpuSpec&)>;
+
+/// Wrap a legacy policy into an owning adapter (factory helper).
+inline std::unique_ptr<Controller> adapt(
+    std::unique_ptr<core::Policy> policy) {
+  return std::make_unique<LegacyPolicyAdapter>(std::move(policy));
+}
+
+}  // namespace sgdrc::control

@@ -1,6 +1,7 @@
 #include "core/harness.h"
 
 #include "coloring/transformer.h"
+#include "control/controller.h"
 #include "models/zoo.h"
 
 namespace sgdrc::core {
@@ -58,6 +59,12 @@ ServingHarness::ServingHarness(HarnessOptions opt) : opt_(std::move(opt)) {
 
 workload::ServingMetrics ServingHarness::run(Policy& policy,
                                              bool spt) const {
+  control::LegacyPolicyAdapter adapter(policy);
+  return run(adapter, spt);
+}
+
+workload::ServingMetrics ServingHarness::run(control::Controller& controller,
+                                             bool spt) const {
   ServingSimBuilder builder;
   builder.gpu(opt_.spec)
       .executor_params(opt_.exec_params)
@@ -78,7 +85,7 @@ workload::ServingMetrics ServingHarness::run(Policy& policy,
   for (const auto& m : (spt ? be_spt_ : be_plain_)) {
     builder.add_best_effort(m);
   }
-  return builder.build(policy)->run(trace_);
+  return builder.build(controller)->run(trace_);
 }
 
 }  // namespace sgdrc::core

@@ -42,6 +42,9 @@ class ServingHarness {
   /// Run one system. `spt` selects the SPT-transformed model variants
   /// (SGDRC and SGDRC-Static run transformed memory-bound kernels and pay
   /// the §9.1.2 overhead; baselines run the original kernels).
+  workload::ServingMetrics run(control::Controller& controller,
+                               bool spt) const;
+  /// Legacy imperative flavour (wrapped in a LegacyPolicyAdapter).
   workload::ServingMetrics run(Policy& policy, bool spt) const;
 
   const HarnessOptions& options() const { return opt_; }

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "control/controller.h"
+
 namespace sgdrc::core {
 
 using gpusim::GpuExecutor;
+using gpusim::TpcMask;
 using workload::Request;
 
 namespace {
@@ -14,12 +17,35 @@ constexpr size_t qos_index(QosClass q) {
 }  // namespace
 
 ServingSim::ServingSim(ServingConfig cfg, std::vector<TenantSpec> tenants,
+                       control::Controller& controller)
+    : cfg_(std::move(cfg)),
+      tenants_(std::move(tenants)),
+      controller_(&controller),
+      owned_queue_(std::make_unique<EventQueue>()),
+      queue_(*owned_queue_),
+      rng_(cfg_.seed) {
+  init();
+}
+
+ServingSim::ServingSim(ServingConfig cfg, std::vector<TenantSpec> tenants,
                        Policy& policy)
     : cfg_(std::move(cfg)),
       tenants_(std::move(tenants)),
-      policy_(policy),
+      owned_adapter_(std::make_unique<control::LegacyPolicyAdapter>(policy)),
       owned_queue_(std::make_unique<EventQueue>()),
       queue_(*owned_queue_),
+      rng_(cfg_.seed) {
+  controller_ = owned_adapter_.get();
+  init();
+}
+
+ServingSim::ServingSim(EventQueue& queue, ServingConfig cfg,
+                       std::vector<TenantSpec> tenants,
+                       control::Controller& controller)
+    : cfg_(std::move(cfg)),
+      tenants_(std::move(tenants)),
+      controller_(&controller),
+      queue_(queue),
       rng_(cfg_.seed) {
   init();
 }
@@ -28,11 +54,14 @@ ServingSim::ServingSim(EventQueue& queue, ServingConfig cfg,
                        std::vector<TenantSpec> tenants, Policy& policy)
     : cfg_(std::move(cfg)),
       tenants_(std::move(tenants)),
-      policy_(policy),
+      owned_adapter_(std::make_unique<control::LegacyPolicyAdapter>(policy)),
       queue_(queue),
       rng_(cfg_.seed) {
+  controller_ = owned_adapter_.get();
   init();
 }
+
+ServingSim::~ServingSim() = default;
 
 void ServingSim::init() {
   // An empty tenant list is legal: fleets create device sims lazily when
@@ -62,6 +91,9 @@ void ServingSim::register_tenant(TenantId t) {
   free_instances_.push_back(0);
   backlog_.emplace_back();
   active_.push_back(1);
+  guaranteed_mask_.push_back(0);
+  assign_guarantee_region(t);
+  validate_vgpu_budget();
   workload::TenantMetrics m;
   m.id = t;
   m.qos = spec.qos;
@@ -91,6 +123,91 @@ void ServingSim::register_tenant(TenantId t) {
   metrics_.tenants.push_back(std::move(m));
 }
 
+void ServingSim::assign_guarantee_region(TenantId t) {
+  const auto& vgpu = tenants_[t].vgpu;
+  if (vgpu.guaranteed_tpcs == 0) return;
+  const unsigned n = cfg_.spec.num_tpcs;
+  SGDRC_REQUIRE(vgpu.guaranteed_tpcs <= n,
+                "tenant guarantees more TPCs than the device has");
+  const TpcMask free = gpusim::full_tpc_mask(n) & ~guaranteed_used_;
+  SGDRC_REQUIRE(gpusim::tpc_count(free) >= vgpu.guaranteed_tpcs,
+                "guaranteed TPCs overcommitted across tenants");
+  // LS regions grow down from the top of the mask (SGDRC keeps LS at the
+  // high TPCs), BE regions up from the bottom — so the tidal top block
+  // and hard LS reservations coincide and BE guarantees stay clear.
+  TpcMask region = 0;
+  unsigned got = 0;
+  const bool ls = tenants_[t].qos == QosClass::kLatencySensitive;
+  for (unsigned i = 0; i < n && got < vgpu.guaranteed_tpcs; ++i) {
+    const unsigned tpc = ls ? n - 1 - i : i;
+    const TpcMask bit = gpusim::tpc_bit(tpc);
+    if (!(free & bit)) continue;
+    region |= bit;
+    ++got;
+  }
+  guaranteed_used_ |= region;
+  guaranteed_mask_[t] = region;
+}
+
+void ServingSim::release_guarantee_region(TenantId t) {
+  guaranteed_used_ &= ~guaranteed_mask_[t];
+  guaranteed_mask_[t] = 0;
+}
+
+void ServingSim::validate_vgpu_budget() const {
+  double channel_share = 0.0;
+  // Bounded by active_: during init() the spec list is already full
+  // while the per-tenant state vectors grow one register_tenant at a
+  // time — validate what is registered so far.
+  for (TenantId t = 0; t < active_.size(); ++t) {
+    if (!active_[t]) continue;
+    const auto& v = tenants_[t].vgpu;
+    SGDRC_REQUIRE(v.channel_share >= 0.0 && v.channel_share < 1.0,
+                  "channel_share must be in [0,1)");
+    SGDRC_REQUIRE(v.weight > 0.0, "vGPU weight must be positive");
+    channel_share += v.channel_share;
+  }
+  SGDRC_REQUIRE(channel_share <= 1.0 + 1e-9,
+                "guaranteed channel shares overcommitted across tenants");
+}
+
+gpusim::TpcMask ServingSim::guaranteed_union(QosClass qos) const {
+  TpcMask m = 0;
+  for (TenantId t = 0; t < guaranteed_mask_.size(); ++t) {
+    if (active_[t] && tenants_[t].qos == qos) m |= guaranteed_mask_[t];
+  }
+  return m;
+}
+
+void ServingSim::set_vgpu(TenantId t, const control::VgpuSpec& vgpu) {
+  SGDRC_REQUIRE(t < tenants_.size(), "unknown tenant");
+  SGDRC_REQUIRE(active_[t], "cannot re-plan a removed tenant");
+  // Validate the prospective state before touching anything, so a
+  // rejected re-plan leaves the tenant's current guarantee intact
+  // (strong exception safety — callers treat a throw as "change
+  // rejected, old quota still holds").
+  SGDRC_REQUIRE(vgpu.guaranteed_tpcs <= cfg_.spec.num_tpcs,
+                "tenant guarantees more TPCs than the device has");
+  SGDRC_REQUIRE(vgpu.channel_share >= 0.0 && vgpu.channel_share < 1.0,
+                "channel_share must be in [0,1)");
+  SGDRC_REQUIRE(vgpu.weight > 0.0, "vGPU weight must be positive");
+  const TpcMask free_without_us = gpusim::full_tpc_mask(cfg_.spec.num_tpcs) &
+                                  ~(guaranteed_used_ & ~guaranteed_mask_[t]);
+  SGDRC_REQUIRE(gpusim::tpc_count(free_without_us) >= vgpu.guaranteed_tpcs,
+                "guaranteed TPCs overcommitted across tenants");
+  double channel_share = vgpu.channel_share;
+  for (TenantId o = 0; o < active_.size(); ++o) {
+    if (o != t && active_[o]) channel_share += tenants_[o].vgpu.channel_share;
+  }
+  SGDRC_REQUIRE(channel_share <= 1.0 + 1e-9,
+                "guaranteed channel shares overcommitted across tenants");
+  // Commit: none of the steps below can fail.
+  release_guarantee_region(t);
+  tenants_[t].vgpu = vgpu;
+  assign_guarantee_region(t);
+  poke();  // the controller re-plans under the new guarantees
+}
+
 TenantId ServingSim::add_tenant(const TenantSpec& spec) {
   tenants_.push_back(spec);
   const TenantId t = static_cast<TenantId>(tenants_.size() - 1);
@@ -103,6 +220,7 @@ void ServingSim::remove_tenant(TenantId t) {
   SGDRC_REQUIRE(t < tenants_.size(), "unknown tenant");
   SGDRC_REQUIRE(active_[t], "tenant already removed");
   active_[t] = 0;
+  release_guarantee_region(t);  // the reservation dies with the tenant
   if (tenants_[t].qos == QosClass::kBestEffort) {
     // Halt: leave the rotation so round-robin never waits on us...
     auto it = std::find(be_tenants_.begin(), be_tenants_.end(), t);
@@ -299,6 +417,84 @@ void ServingSim::note_inflight(QosClass qos, int delta) {
   }
 }
 
+bool ServingSim::trespasses(TenantId owner, TpcMask eff_tpcs) const {
+  const TpcMask foreign = guaranteed_used_ & ~guaranteed_mask_[owner];
+  return (eff_tpcs & foreign) != 0;
+}
+
+LaunchSpec ServingSim::compile_allocation(
+    const control::Allocation& a) const {
+  SGDRC_REQUIRE(!a.empty(),
+                "plan carries an empty Allocation — a zero mask no longer "
+                "means \"all\"; use control::Allocation::all()");
+  const TpcMask full = gpusim::full_tpc_mask(cfg_.spec.num_tpcs);
+  const gpusim::ChannelSet allc =
+      gpusim::all_channels(cfg_.spec.num_channels);
+  const TpcMask tpcs = a.tpcs & full;
+  const gpusim::ChannelSet chans = a.channels & allc;
+  SGDRC_REQUIRE(tpcs != 0, "allocation names no TPC this device has");
+  SGDRC_REQUIRE(chans != 0, "allocation names no channel this device has");
+  // Out-of-range bits are only legal as part of the all() sentinel —
+  // a partial in-range mask with stray high bits is a controller bug.
+  SGDRC_REQUIRE((a.tpcs & ~full) == 0 || tpcs == full,
+                "allocation TPC mask exceeds the device");
+  SGDRC_REQUIRE((a.channels & ~allc) == 0 || chans == allc,
+                "allocation channel set exceeds the device");
+  // Canonical encodings. Channels: a device-covering set compiles to the
+  // executor's legacy 0 = "all" (physically identical, and the SGDRC
+  // monopolisation check keys on it). TPCs: only the all() *sentinel*
+  // compiles to 0 — an explicit device-covering mask stays explicit,
+  // because controllers read RunningInfo::tpc_mask back and the historic
+  // encoding distinguishes "packed onto every TPC" (explicit, counts as
+  // LS occupancy) from "monopolising BE" (0).
+  return {a.tpcs == ~TpcMask{0} ? TpcMask{0} : tpcs,
+          chans == allc ? gpusim::ChannelSet{0} : chans};
+}
+
+void ServingSim::apply(const control::ResourcePlan& plan) {
+  // A plan traced off a legacy imperative policy already acted on the
+  // sim; re-applying would double-launch. It is a log, not a request.
+  if (plan.pre_applied) return;
+  for (const auto& d : plan.directives) {
+    switch (d.kind) {
+      case control::Directive::Kind::kLaunch: {
+        const LaunchSpec spec = compile_allocation(d.alloc);
+        const Job* job = job_ptr(d.job);
+        SGDRC_REQUIRE(job != nullptr, "plan launches an unknown job");
+        const TpcMask eff =
+            spec.tpc_mask ? spec.tpc_mask
+                          : gpusim::full_tpc_mask(cfg_.spec.num_tpcs);
+        SGDRC_REQUIRE(!trespasses(job->tenant, eff),
+                      "plan puts a kernel inside another tenant's "
+                      "guaranteed TPC region");
+        launch(d.job, spec);
+        break;
+      }
+      case control::Directive::Kind::kEvict:
+        evict(d.job);
+        break;
+      case control::Directive::Kind::kWakeAt:
+        poke_at(d.at);
+        break;
+    }
+  }
+}
+
+control::ResourcePlan ServingSim::trace_policy(Policy& policy) {
+  control::ResourcePlan plan;
+  plan.pre_applied = true;
+  SGDRC_CHECK(trace_ == nullptr, "nested policy trace");
+  trace_ = &plan;
+  try {
+    policy.schedule(*this);
+  } catch (...) {
+    trace_ = nullptr;
+    throw;
+  }
+  trace_ = nullptr;
+  return plan;
+}
+
 void ServingSim::launch(JobId id, LaunchSpec spec) {
   Job* job = job_ptr(id);
   SGDRC_REQUIRE(job != nullptr, "unknown job");
@@ -306,6 +502,20 @@ void ServingSim::launch(JobId id, LaunchSpec spec) {
   SGDRC_REQUIRE(!job->in_flight, "job already has a kernel in flight");
   const auto& model = tenants_[job->tenant].model;
   const gpusim::KernelDesc& k = model.kernels[job->cursor];
+  // Guarantee bookkeeping: kernels landing inside a *different* tenant's
+  // reserved region are violations. Plan-enforced launches were already
+  // rejected in apply(); this counts what legacy imperative policies
+  // (which cannot see guarantees) do to them.
+  const TpcMask eff = spec.tpc_mask
+                          ? spec.tpc_mask
+                          : gpusim::full_tpc_mask(cfg_.spec.num_tpcs);
+  if (trespasses(job->tenant, eff)) ++metrics_.guarantee_violations;
+  if (trace_ != nullptr) {
+    trace_->launch(id, control::Allocation{
+                           spec.tpc_mask ? spec.tpc_mask : ~TpcMask{0},
+                           spec.channels ? spec.channels
+                                         : ~gpusim::ChannelSet{0}});
+  }
   // Only memory-bound kernels are channel-colored (§7.2); others keep the
   // default all-channel mapping.
   const gpusim::ChannelSet ch = k.memory_bound ? spec.channels : 0;
@@ -374,6 +584,7 @@ void ServingSim::evict(JobId id) {
   SGDRC_REQUIRE(job != nullptr, "unknown job");
   SGDRC_REQUIRE(job->in_flight, "no in-flight kernel to evict");
   if (job->evicting) return;
+  if (trace_ != nullptr) trace_->evict(id);
   job->evicting = true;
   ++metrics_.tenants[job->tenant].evictions;
   const QosClass qos = qos_of(*job);
@@ -391,6 +602,7 @@ void ServingSim::evict(JobId id) {
 }
 
 void ServingSim::poke_at(TimeNs t) {
+  if (trace_ != nullptr) trace_->wake_at(t);
   queue_.schedule_at(std::max(t, now()), [this] { poke(); });
 }
 
@@ -403,7 +615,8 @@ void ServingSim::poke() {
   in_schedule_ = true;
   do {
     repoke_ = false;
-    policy_.schedule(*this);
+    control::ResourcePlan plan = controller_->plan(control::SimView(*this));
+    apply(plan);
   } while (repoke_);
   in_schedule_ = false;
 }

@@ -21,12 +21,20 @@
 
 #include "common/event_queue.h"
 #include "common/rng.h"
+#include "control/vgpu.h"
 #include "gpusim/executor.h"
 #include "gpusim/gpu_spec.h"
 #include "models/model.h"
 #include "workload/metrics.h"
 #include "workload/tenant.h"
 #include "workload/trace.h"
+
+namespace sgdrc::control {
+class Controller;
+class SimView;
+struct ResourcePlan;
+struct Allocation;
+}  // namespace sgdrc::control
 
 namespace sgdrc::core {
 
@@ -36,9 +44,13 @@ using workload::TenantId;
 
 class ServingSim;
 
-/// Scheduler strategy. schedule() is invoked after every state change
-/// (request arrival, kernel completion, eviction, BE batch switch); it
-/// must be idempotent — inspect the sim, launch what should run now.
+/// Legacy imperative scheduler interface. schedule() is invoked after
+/// every state change (request arrival, kernel completion, eviction, BE
+/// batch switch); it must be idempotent — inspect the sim, launch what
+/// should run now. New schedulers should implement control::Controller
+/// instead (declarative ResourcePlans, validated guarantees); Policies
+/// keep running unchanged through control::LegacyPolicyAdapter, which
+/// the sim instantiates internally for the Policy& constructors.
 class Policy {
  public:
   virtual ~Policy() = default;
@@ -54,16 +66,26 @@ struct TenantSpec {
   TimeNs isolated_latency = 0;
   /// LS only: instance-pool size; 0 ⇒ ServingConfig::ls_instances.
   unsigned instances = 0;
+  /// vGPU guarantees (§4): hard TPC reservation, channel share, weight,
+  /// priority. Default: no guarantees (pure tidal sharing).
+  control::VgpuSpec vgpu;
 };
 
 inline TenantSpec latency_sensitive_tenant(models::ModelDesc model,
                                            TimeNs isolated_latency,
-                                           unsigned instances = 0) {
+                                           unsigned instances = 0,
+                                           control::VgpuSpec vgpu = {}) {
   return {QosClass::kLatencySensitive, std::move(model), isolated_latency,
-          instances};
+          instances, vgpu};
 }
-inline TenantSpec best_effort_tenant(models::ModelDesc model) {
-  return {QosClass::kBestEffort, std::move(model), 0, 0};
+inline TenantSpec best_effort_tenant(models::ModelDesc model,
+                                     control::VgpuSpec vgpu = {}) {
+  return {QosClass::kBestEffort, std::move(model), 0, 0, vgpu};
+}
+/// Attach a vGPU guarantee to an existing tenant declaration.
+inline TenantSpec with_vgpu(TenantSpec spec, control::VgpuSpec vgpu) {
+  spec.vgpu = vgpu;
+  return spec;
 }
 
 /// How best-effort tenants share the GPU among themselves.
@@ -98,7 +120,13 @@ struct LaunchSpec {
 
 class ServingSim {
  public:
-  /// Standalone sim: owns its event queue.
+  /// Standalone sim driven by a declarative controller: owns its event
+  /// queue; the enforcer compiles each plan into launches/evictions.
+  ServingSim(ServingConfig cfg, std::vector<TenantSpec> tenants,
+             control::Controller& controller);
+  /// Standalone sim driven by a legacy imperative Policy (wrapped in an
+  /// internal LegacyPolicyAdapter; behaviour is identical to the
+  /// pre-control-plane path).
   ServingSim(ServingConfig cfg, std::vector<TenantSpec> tenants,
              Policy& policy);
   /// Fleet mode: shares `queue` with sibling devices so an outer
@@ -106,7 +134,11 @@ class ServingSim {
   /// route requests by live per-device state. The caller drives the
   /// queue and uses begin()/inject()/finish() instead of run().
   ServingSim(EventQueue& queue, ServingConfig cfg,
+             std::vector<TenantSpec> tenants,
+             control::Controller& controller);
+  ServingSim(EventQueue& queue, ServingConfig cfg,
              std::vector<TenantSpec> tenants, Policy& policy);
+  ~ServingSim();
 
   /// Replay the trace; returns the metrics after `duration`.
   workload::ServingMetrics run(const std::vector<workload::Request>& trace);
@@ -143,6 +175,10 @@ class ServingSim {
   /// Runtime SLO changes (scenario scripting, e.g. an SLO tighten).
   void set_slo(TenantId t, TimeNs slo);
   TimeNs slo_of(TenantId t) const;
+  /// Runtime vGPU re-plan (scenario set_quota): swap a tenant's
+  /// guarantees. The old TPC region is released, a new one is carved
+  /// (validated against overcommit), and the controller re-plans.
+  void set_vgpu(TenantId t, const control::VgpuSpec& vgpu);
 
   // ------------------------------------------------- policy read API ----
   const gpusim::GpuSpec& spec() const { return cfg_.spec; }
@@ -196,10 +232,34 @@ class ServingSim {
   /// fleets); policies and outer simulations draw jitter from it.
   Rng& rng() { return rng_; }
 
+  // ----------------------------------------- vGPU guarantee geometry ----
+  /// The concrete TPC region backing tenant t's guarantee (0 when the
+  /// tenant has none or was removed). LS regions are carved from the top
+  /// of the mask, BE regions from the bottom, so SGDRC's LS-at-the-top
+  /// tidal convention and hard reservations compose.
+  gpusim::TpcMask guaranteed_mask(TenantId t) const {
+    return guaranteed_mask_.at(t);
+  }
+  /// Union of active guaranteed regions of one class.
+  gpusim::TpcMask guaranteed_union(QosClass qos) const;
+
   // ------------------------------------------------ policy write API ----
-  /// Launch the next kernel of a waiting job. For non-memory-bound
-  /// kernels the channel restriction is ignored (only memory-bound
-  /// tensors are colored, §7.2).
+  /// Enforce a declarative plan: validate each directive (explicit
+  /// allocations — no zero-means-all; launches must not trespass on
+  /// another tenant's guaranteed region) and compile it into
+  /// launch/evict/poke_at calls, strictly in emission order. Plans
+  /// traced off a legacy policy (pre_applied) already acted and are
+  /// skipped. This is the only path from plan to mechanism.
+  void apply(const control::ResourcePlan& plan);
+
+  /// Legacy mechanism API: launch the next kernel of a waiting job.
+  /// Zero means "all" for both LaunchSpec fields (pre-control-plane
+  /// convention, kept for imperative Policies; plans use the explicit
+  /// control::Allocation instead). For non-memory-bound kernels the
+  /// channel restriction is ignored (only memory-bound tensors are
+  /// colored, §7.2). Launches that put a kernel inside another tenant's
+  /// guaranteed region are counted in ServingMetrics::
+  /// guarantee_violations (and rejected outright on the plan path).
   void launch(JobId id, LaunchSpec spec);
 
   /// Preempt the job's in-flight kernel via the eviction flag (§7.1).
@@ -211,6 +271,11 @@ class ServingSim {
   /// Schedule a future policy wake-up (policies with timed behaviour,
   /// e.g. TGS's container switching).
   void poke_at(TimeNs t);
+
+  /// Adapter plumbing (control::SimView::trace_legacy): run an
+  /// imperative Policy against the live sim while tracing its
+  /// launch/evict/poke_at calls into a pre_applied ResourcePlan.
+  control::ResourcePlan trace_policy(Policy& policy);
 
  private:
   struct Job {
@@ -231,6 +296,16 @@ class ServingSim {
 
   void init();
   void register_tenant(TenantId t);
+  /// Carve (or release + re-carve) the TPC region backing a guarantee.
+  void assign_guarantee_region(TenantId t);
+  void release_guarantee_region(TenantId t);
+  void validate_vgpu_budget() const;
+  /// True when `eff_tpcs` trespasses on another active tenant's region.
+  bool trespasses(TenantId owner, gpusim::TpcMask eff_tpcs) const;
+  /// Compile an explicit Allocation into the canonical LaunchSpec
+  /// (device-covering masks → the legacy 0 = "all" encoding, so explicit
+  /// Allocation::all() and historic {0,0} behave identically).
+  LaunchSpec compile_allocation(const control::Allocation& a) const;
   void arrive(const workload::Request& r);
   void admit(TenantId tenant, TimeNs arrival);
   void admit_or_backlog(TenantId tenant, TimeNs arrival);
@@ -242,7 +317,13 @@ class ServingSim {
 
   ServingConfig cfg_;
   std::vector<TenantSpec> tenants_;
-  Policy& policy_;
+  /// The scheduling brain. Policy& constructors wrap the policy in an
+  /// owned LegacyPolicyAdapter so there is exactly one scheduling path.
+  control::Controller* controller_ = nullptr;
+  std::unique_ptr<control::Controller> owned_adapter_;
+  /// Non-null while a legacy policy runs under trace_policy(): launch /
+  /// evict / poke_at append their directive here (and still act).
+  control::ResourcePlan* trace_ = nullptr;
 
   std::unique_ptr<EventQueue> owned_queue_;  // null in fleet mode
   EventQueue& queue_;
@@ -258,6 +339,8 @@ class ServingSim {
   std::vector<unsigned> free_instances_; // per tenant (LS slots only)
   std::vector<std::deque<TimeNs>> backlog_;  // queued arrivals per tenant
   std::vector<char> active_;             // per tenant; 0 after removal
+  std::vector<gpusim::TpcMask> guaranteed_mask_;  // per tenant; 0 = none
+  gpusim::TpcMask guaranteed_used_ = 0;  // union of carved regions
   double slo_n_ = 1.0;                   // SLO multiplier used at init
   size_t inflight_[2] = {0, 0};          // per QosClass
   TimeNs busy_since_[2] = {0, 0};
@@ -281,6 +364,18 @@ class ServingSim {
 ///                  .build(policy);
 class ServingSimBuilder {
  public:
+  /// Seed the whole ServingConfig at once (fleet drivers deriving a
+  /// per-device config); individual setters still apply on top.
+  ServingSimBuilder& config(const ServingConfig& cfg) {
+    cfg_ = cfg;
+    return *this;
+  }
+  /// Replace the tenant list wholesale (fleet drivers with a placement-
+  /// derived per-device list).
+  ServingSimBuilder& tenants(std::vector<TenantSpec> specs) {
+    tenants_ = std::move(specs);
+    return *this;
+  }
   ServingSimBuilder& gpu(const gpusim::GpuSpec& spec) {
     cfg_.spec = spec;
     return *this;
@@ -322,12 +417,31 @@ class ServingSimBuilder {
   ServingSimBuilder& add_best_effort(models::ModelDesc model) {
     return add_tenant(best_effort_tenant(std::move(model)));
   }
+  /// Attach a vGPU guarantee to the most recently added tenant:
+  ///   builder.add_latency_sensitive(m, iso).quota({.guaranteed_tpcs = 6})
+  ServingSimBuilder& quota(control::VgpuSpec vgpu) {
+    SGDRC_REQUIRE(!tenants_.empty(), "quota() needs a tenant to attach to");
+    tenants_.back().vgpu = vgpu;
+    return *this;
+  }
 
-  /// The sim keeps a reference to `policy`; both must outlive run().
-  /// (unique_ptr because the sim's executor holds a reference into the
-  /// sim-owned event queue — the sim must not move.)
+  /// The sim keeps a reference to the scheduler; both must outlive
+  /// run(). (unique_ptr because the sim's executor holds a reference
+  /// into the sim-owned event queue — the sim must not move.)
   std::unique_ptr<ServingSim> build(Policy& policy) const {
     return std::make_unique<ServingSim>(cfg_, tenants_, policy);
+  }
+  std::unique_ptr<ServingSim> build(control::Controller& controller) const {
+    return std::make_unique<ServingSim>(cfg_, tenants_, controller);
+  }
+  /// Fleet mode: the device sim shares `queue` with its siblings and is
+  /// driven through begin()/inject()/finish() by the fleet layer.
+  std::unique_ptr<ServingSim> build(EventQueue& queue, Policy& policy) const {
+    return std::make_unique<ServingSim>(queue, cfg_, tenants_, policy);
+  }
+  std::unique_ptr<ServingSim> build(EventQueue& queue,
+                                    control::Controller& controller) const {
+    return std::make_unique<ServingSim>(queue, cfg_, tenants_, controller);
   }
 
  private:

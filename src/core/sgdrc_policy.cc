@@ -1,9 +1,13 @@
 #include "core/sgdrc_policy.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace sgdrc::core {
 
+using control::Allocation;
+using control::ResourcePlan;
+using control::SimView;
 using gpusim::ChannelSet;
 using gpusim::TpcMask;
 
@@ -29,18 +33,61 @@ SgdrcPolicy::SgdrcPolicy(const gpusim::GpuSpec& spec, SgdrcOptions opt)
   ls_channels_ = gpusim::all_channels(spec.num_channels) & ~be_channels_;
 }
 
-void SgdrcPolicy::schedule(ServingSim& sim) {
-  const auto waiting = sim.waiting_jobs(QosClass::kLatencySensitive);
+void SgdrcPolicy::channel_split(const SimView& sim, ChannelSet& ls,
+                                ChannelSet& be) const {
+  double ls_share = 0.0, be_share = 0.0;
+  bool any = false;
+  for (TenantId t = 0; t < sim.tenant_count(); ++t) {
+    if (!sim.tenant_active(t)) continue;
+    const double s = sim.vgpu(t).channel_share;
+    if (s <= 0.0) continue;
+    any = true;
+    (sim.tenant(t).qos == QosClass::kLatencySensitive ? ls_share
+                                                      : be_share) += s;
+  }
+  if (!any) {
+    // No declared shares: the ctor split (bit-for-bit legacy path).
+    ls = ls_channels_;
+    be = be_channels_;
+    return;
+  }
+  // Declared shares re-derive ChBE: BE gets its guaranteed share, but
+  // never so much that LS guarantees are squeezed below theirs.
+  double ch_be = be_share > 0.0 ? be_share : opt_.ch_be;
+  if (ls_share > 0.0) ch_be = std::min(ch_be, 1.0 - ls_share);
+  ch_be = std::clamp(ch_be, 0.01, 0.99);  // partition rounds to groups
+  be = be_channel_partition(sim.spec(), ch_be);
+  ls = gpusim::all_channels(sim.spec().num_channels) & ~be;
+}
+
+ResourcePlan SgdrcPolicy::plan(const SimView& sim) {
+  ResourcePlan plan;
+  const TpcMask full = gpusim::full_tpc_mask(num_tpcs_);
+  auto waiting = sim.waiting_jobs(QosClass::kLatencySensitive);
+  const auto waiting_be = sim.waiting_jobs(QosClass::kBestEffort);
   const bool ls_active =
       !waiting.empty() || sim.inflight(QosClass::kLatencySensitive) > 0;
 
   if (ls_active) last_ls_activity_ = sim.now();
+
+  // vGPU geometry: the enforcer carves one concrete TPC region per
+  // guaranteed tenant; the tide must flow around every region that is
+  // not the launching tenant's own. All-default specs give empty masks
+  // and the legacy behaviour below, directive for directive.
+  const TpcMask ls_guar = sim.guaranteed_union(QosClass::kLatencySensitive);
+  const TpcMask be_guar = sim.guaranteed_union(QosClass::kBestEffort);
+  const TpcMask any_guar = ls_guar | be_guar;
+  ChannelSet eff_ls_channels, eff_be_channels;
+  channel_split(sim, eff_ls_channels, eff_be_channels);
+  const ChannelSet all_ch =
+      gpusim::all_channels(sim.spec().num_channels);
 
   // Snapshot current occupancy; classify running kernels by the QoS class
   // of the job behind each launch tag.
   struct BeRun {
     JobId job;
     TpcMask mask;
+    TpcMask widest;  // the widest mask this job may hold (guarantees)
     bool monopolising;
     bool evicting;
   };
@@ -48,29 +95,41 @@ void SgdrcPolicy::schedule(ServingSim& sim) {
   TpcMask be_mask_running = 0;
   bool be_memory_bound_in_flight = false;
   std::vector<BeRun> be_runs;
-  for (const auto& info : sim.exec().running_infos()) {
+  for (const auto& info : sim.running_infos()) {
     const auto job = sim.find_job(info.tag);
     if (job && job->qos == QosClass::kBestEffort) {
-      const TpcMask mask =
-          info.tpc_mask ? info.tpc_mask : gpusim::full_tpc_mask(num_tpcs_);
+      const TpcMask mask = info.tpc_mask ? info.tpc_mask : full;
       be_mask_running |= mask;
       be_memory_bound_in_flight |= info.kernel->memory_bound;
       // Only memory-bound BE kernels have a channel mode to fix; others
       // always run with default mapping and need no channel eviction.
       const bool monopolising =
           info.channels == 0 && info.kernel->memory_bound;
-      be_runs.push_back({job->id, mask, monopolising, job->evicting});
+      // Under guarantees, "the whole GPU" for this job stops at foreign
+      // regions — promotion must not chase an unreachable full mask.
+      const TpcMask own = sim.guaranteed_mask(job->tenant);
+      const TpcMask widest = full & ~(any_guar & ~own);
+      be_runs.push_back({job->id, mask, widest, monopolising,
+                         job->evicting});
     } else {
       ls_used |= info.tpc_mask;
     }
   }
 
   // ---- LS side: pack co-executing LS kernels into disjoint SM_LS
-  // slices (Fig. 13b), preferring idle TPCs; TPCs a BE kernel occupies
-  // are claimed only under pressure — that is the preemption case
-  // (eviction flag, Fig. 13a).
+  // slices (Fig. 13b) — each tenant's own guaranteed region first, then
+  // idle TPCs; TPCs a BE kernel occupies are claimed only under
+  // pressure — that is the preemption case (eviction flag, Fig. 13a).
+  // Higher-priority tenants launch first (equal priorities keep the
+  // arrival order, so the default is the legacy order exactly).
   TpcMask claimed_from_be = 0;
+  std::vector<JobId> planned_ls;  // launched this plan (window bookkeeping)
   if (!waiting.empty()) {
+    std::stable_sort(waiting.begin(), waiting.end(),
+                     [&](const auto& a, const auto& b) {
+                       return sim.vgpu(a.tenant).priority >
+                              sim.vgpu(b.tenant).priority;
+                     });
     // Bimodal tensors (Fig. 14): LS memory-bound kernels shift to the
     // (1−ChBE) channel partition only while a memory-bound BE kernel
     // shares the GPU; compute-bound BE kernels pose no channel conflict.
@@ -78,40 +137,81 @@ void SgdrcPolicy::schedule(ServingSim& sim) {
     size_t launched = 0;
     for (const auto& job : waiting) {
       if (launched >= opt_.sliding_window) break;
-      if (ls_used == gpusim::full_tpc_mask(num_tpcs_)) break;
+      if (ls_used == full) break;
       const unsigned need = std::max(1u, job.next_kernel->min_tpcs);
+      const TpcMask own = sim.guaranteed_mask(job.tenant);
+      const TpcMask foreign = any_guar & ~own;
       TpcMask mask = 0;
       unsigned got = 0;
-      // Pass 1: idle TPCs (not LS, not BE), top-down.
+      // Pass 0: the tenant's own guaranteed region — idle TPCs first,
+      // then BE-held ones (a stale BE kernel inside a fresh guarantee is
+      // claimed, which evicts it below). Empty without guarantees.
       for (int t = static_cast<int>(num_tpcs_) - 1; t >= 0 && got < need;
            --t) {
         const TpcMask bit = gpusim::tpc_bit(static_cast<unsigned>(t));
-        if ((ls_used | be_mask_running) & bit) continue;
+        if (!(own & bit) || ((ls_used | be_mask_running) & bit)) continue;
         mask |= bit;
         ++got;
       }
-      // Pass 2: under pressure, take BE-held TPCs (preempting BE).
       for (int t = static_cast<int>(num_tpcs_) - 1; t >= 0 && got < need;
            --t) {
         const TpcMask bit = gpusim::tpc_bit(static_cast<unsigned>(t));
-        if ((ls_used & bit) || !(be_mask_running & bit)) continue;
+        if (!(own & bit) || (ls_used & bit) || !(be_mask_running & bit)) {
+          continue;
+        }
+        mask |= bit;
+        ++got;
+        claimed_from_be |= bit;
+      }
+      // Pass 1: idle TPCs (not LS, not BE, not someone else's
+      // guarantee), top-down.
+      for (int t = static_cast<int>(num_tpcs_) - 1; t >= 0 && got < need;
+           --t) {
+        const TpcMask bit = gpusim::tpc_bit(static_cast<unsigned>(t));
+        if ((ls_used | be_mask_running | foreign) & bit) continue;
+        mask |= bit;
+        ++got;
+      }
+      // Pass 2: under pressure, take BE-held TPCs (preempting BE) —
+      // never out of a foreign guaranteed region.
+      for (int t = static_cast<int>(num_tpcs_) - 1; t >= 0 && got < need;
+           --t) {
+        const TpcMask bit = gpusim::tpc_bit(static_cast<unsigned>(t));
+        if ((ls_used & bit) || !(be_mask_running & bit) || (foreign & bit)) {
+          continue;
+        }
         mask |= bit;
         ++got;
         claimed_from_be |= bit;
       }
       if (got == 0) break;  // everything is held by other LS kernels
       ls_used |= mask;
-      sim.launch(job.id, {mask, colocated ? ls_channels_ : 0});
+      plan.launch(job.id,
+                  {mask, colocated ? eff_ls_channels : all_ch});
+      planned_ls.push_back(job.id);
       ++launched;
     }
   }
 
   // Evict BE kernels that (a) monopolise the channels while LS runs, or
   // (b) hold TPCs an LS kernel just claimed (Fig. 13a's preemption).
+  // Under guarantees, (c) also enforce §4's spatial-temporal rule on the
+  // running set: at most one BE kernel co-executes with active LS — a
+  // flood that launched during an LS idle gap is trimmed back when LS
+  // returns, or its channel contention would defeat the SM region.
+  const bool quota_mode = any_guar != 0;
+  size_t be_kept = 0;
   for (const auto& run : be_runs) {
     if (run.evicting) continue;
-    if ((ls_active && run.monopolising) || (run.mask & claimed_from_be)) {
-      sim.evict(run.job);
+    bool evict_it =
+        (ls_active && run.monopolising) || (run.mask & claimed_from_be);
+    if (!evict_it && quota_mode && ls_active && be_kept >= 1) {
+      evict_it = true;
+    }
+    if (evict_it) {
+      plan.evict(run.job);
+    } else {
+      ++be_kept;
     }
   }
 
@@ -122,13 +222,12 @@ void SgdrcPolicy::schedule(ServingSim& sim) {
   if (!ls_active && claimed_from_be == 0) {
     for (const auto& run : be_runs) {
       if (run.evicting) continue;
-      const bool colocated_mode =
-          run.mask != gpusim::full_tpc_mask(num_tpcs_);
+      const bool colocated_mode = run.mask != run.widest;
       if (!colocated_mode) continue;
       if (sim.now() >= last_ls_activity_ + 200 * kNsPerUs) {
-        sim.evict(run.job);
+        plan.evict(run.job);
       } else {
-        sim.poke_at(last_ls_activity_ + 200 * kNsPerUs);
+        plan.wake_at(last_ls_activity_ + 200 * kNsPerUs);
       }
     }
   }
@@ -138,11 +237,22 @@ void SgdrcPolicy::schedule(ServingSim& sim) {
   // launch queue may consume more SMs than the currently allocated
   // ones"), so preemptions stay rare. The reserve tracks the peak of
   // recent concurrent LS usage: it rises instantly and decays one TPC
-  // per decay interval.
+  // per decay interval. (The legacy imperative path read
+  // upcoming_kernels() after its launches took effect; the plan path
+  // reproduces that view by skipping the jobs this plan just launched.)
   unsigned window_need = 1;
-  for (const auto* k : sim.upcoming_kernels(QosClass::kLatencySensitive,
-                                            opt_.sliding_window)) {
-    window_need = std::max(window_need, std::max(1u, k->min_tpcs));
+  {
+    size_t seen = 0;
+    for (const auto& job : sim.waiting_jobs(QosClass::kLatencySensitive)) {
+      if (seen >= opt_.sliding_window) break;
+      if (std::find(planned_ls.begin(), planned_ls.end(), job.id) !=
+          planned_ls.end()) {
+        continue;
+      }
+      window_need =
+          std::max(window_need, std::max(1u, job.next_kernel->min_tpcs));
+      ++seen;
+    }
   }
   window_need = std::max(window_need, gpusim::tpc_count(ls_used));
   if (window_need >= ls_reserve_) {
@@ -157,25 +267,87 @@ void SgdrcPolicy::schedule(ServingSim& sim) {
   }
 
   // ---- BE side: fill the tide pool. All waiting BE jobs (one under
-  // round-robin rotation, every tenant in concurrent mode) share it.
-  for (const auto& job : sim.waiting_jobs(QosClass::kBestEffort)) {
-    if (!ls_active) {
+  // round-robin rotation, every tenant in concurrent mode) share it —
+  // or split it by weight when tenants declare unequal weights. A BE
+  // tenant's own guaranteed region is always usable; foreign guaranteed
+  // regions never are.
+  bool unequal_weights = false;
+  double total_weight = 0.0;
+  for (const auto& job : waiting_be) {
+    total_weight += sim.vgpu(job.tenant).weight;
+    if (sim.vgpu(job.tenant).weight != sim.vgpu(waiting_be[0].tenant).weight) {
+      unequal_weights = true;
+    }
+  }
+  const TpcMask reserved =
+      gpusim::tpc_range(num_tpcs_ - ls_reserve_, ls_reserve_) | ls_guar;
+  TpcMask weighted_pool_left = 0;  // partition cursor (unequal weights)
+  unsigned weighted_pool_bits = 0;  // original pool size — shares are
+                                    // fractions of the whole pool, not of
+                                    // whatever earlier slices left behind
+  if (unequal_weights) {
+    weighted_pool_left = full & ~ls_used & ~reserved & ~any_guar;
+    weighted_pool_bits = gpusim::tpc_count(weighted_pool_left);
+  }
+  // §4's spatial-temporal rule, armed by guarantees: while LS is active,
+  // at most one BE kernel co-executes — a concurrent BE flood otherwise
+  // drags the LS tail through inter-channel contention (every uncolored
+  // compute-bound BE kernel keeps the default all-channel mapping) no
+  // matter how hard the SM region holds. Guarantee-free setups keep the
+  // historic free-for-all tide bit-for-bit.
+  size_t be_budget = std::numeric_limits<size_t>::max();
+  if (quota_mode && ls_active) {
+    be_budget = be_kept < 1 ? 1 - be_kept : 0;
+  }
+  for (const auto& job : waiting_be) {
+    if (be_budget == 0) break;
+    const TpcMask own = sim.guaranteed_mask(job.tenant);
+    const TpcMask foreign = any_guar & ~own;
+    if (!ls_active && foreign == 0) {
       // Monopolisation state (§7.2a): the LS kernel queue is empty, so
       // the BE kernel takes the whole GPU and — through its all-channel
       // bimodal tensor copies — the full VRAM bandwidth (Fig. 14a/d).
       // When LS returns it preempts via the eviction flag (Fig. 13a).
-      sim.launch(job.id, {0, 0});
+      plan.launch(job.id, Allocation::all());
+    } else if (!ls_active) {
+      // LS is idle but holds hard reservations: BE soaks everything
+      // except foreign guaranteed regions, with all channels.
+      plan.launch(job.id, {full & ~foreign, all_ch});
     } else {
-      const TpcMask reserved =
-          gpusim::tpc_range(num_tpcs_ - ls_reserve_, ls_reserve_);
-      const TpcMask free =
-          gpusim::full_tpc_mask(num_tpcs_) & ~ls_used & ~reserved;
+      // The tenant's own guaranteed region is usable even when the
+      // tidal reserve covers it (own == 0 reproduces the legacy mask).
+      TpcMask free =
+          (full & ~ls_used & ~reserved & ~foreign) | (own & ~ls_used);
+      if (unequal_weights) {
+        // Split the common pool by weight (own regions ride on top):
+        // each slice is this tenant's fraction of the *original* pool,
+        // carved from what is left, so slices stay proportional and the
+        // last tenant picks up the rounding dust.
+        const TpcMask pool = weighted_pool_left;
+        const unsigned share = static_cast<unsigned>(
+            static_cast<double>(weighted_pool_bits) *
+            sim.vgpu(job.tenant).weight / total_weight);
+        const bool last = &job == &waiting_be.back();
+        TpcMask slice = 0;
+        unsigned got = 0;
+        for (unsigned t = 0; t < num_tpcs_; ++t) {
+          if (!last && got >= std::max(1u, share)) break;
+          const TpcMask bit = gpusim::tpc_bit(t);
+          if (!(pool & bit)) continue;
+          slice |= bit;
+          ++got;
+        }
+        weighted_pool_left &= ~slice;
+        free = slice | (own & ~ls_used);
+      }
       if (free) {
-        sim.launch(job.id, {free, be_channels_});
+        plan.launch(job.id, {free, eff_be_channels});
+        --be_budget;
       }
       // else: LS holds every TPC; the next completion re-schedules us.
     }
   }
+  return plan;
 }
 
 SgdrcStaticPolicy::SgdrcStaticPolicy(const gpusim::GpuSpec& spec) {
@@ -186,16 +358,23 @@ SgdrcStaticPolicy::SgdrcStaticPolicy(const gpusim::GpuSpec& spec) {
   ls_channels_ = gpusim::all_channels(spec.num_channels) & ~be_channels_;
 }
 
-void SgdrcStaticPolicy::schedule(ServingSim& sim) {
+control::ResourcePlan SgdrcStaticPolicy::plan(const SimView& sim) {
   // Static even split (§9.2's ablation): LS kernels co-execute inside the
-  // fixed LS half, BE keeps its half; no tide, no preemption.
+  // fixed LS half, BE keeps its half; no tide, no preemption. Declared
+  // guarantees only reshape the frozen halves (a guaranteed region moves
+  // wholesale into its owner class's partition); there is still no tide.
+  ResourcePlan plan;
+  const TpcMask ls_guar = sim.guaranteed_union(QosClass::kLatencySensitive);
+  const TpcMask be_guar = sim.guaranteed_union(QosClass::kBestEffort);
+  const TpcMask ls_mask = (ls_mask_ | ls_guar) & ~be_guar;
+  const TpcMask be_mask = (be_mask_ | be_guar) & ~ls_guar;
   TpcMask ls_used = 0;
-  for (const auto& info : sim.exec().running_infos()) {
+  for (const auto& info : sim.running_infos()) {
     const auto job = sim.find_job(info.tag);
     if (!job || job->qos != QosClass::kBestEffort) ls_used |= info.tpc_mask;
   }
   for (const auto& job : sim.waiting_jobs(QosClass::kLatencySensitive)) {
-    const TpcMask free = ls_mask_ & ~ls_used;
+    const TpcMask free = ls_mask & ~ls_used;
     if (!free) break;
     const unsigned need = std::max(1u, job.next_kernel->min_tpcs);
     TpcMask mask = 0;
@@ -207,11 +386,13 @@ void SgdrcStaticPolicy::schedule(ServingSim& sim) {
       ++got;
     }
     ls_used |= mask;
-    sim.launch(job.id, {mask, ls_channels_});
+    plan.launch(job.id, {mask, ls_channels_});
   }
   for (const auto& job : sim.waiting_jobs(QosClass::kBestEffort)) {
-    sim.launch(job.id, {be_mask_, be_channels_});
+    if (!be_mask) break;
+    plan.launch(job.id, {be_mask, be_channels_});
   }
+  return plan;
 }
 
 }  // namespace sgdrc::core

@@ -1,4 +1,5 @@
-// SGDRC's online scheduler (§4 online phase, §7):
+// SGDRC's online scheduler (§4 online phase, §7), rewritten as a
+// plan-emitting control::Controller:
 //
 //  * spatial-temporal multiplexing: at most one LS kernel and one BE
 //    kernel co-execute; LS/BE queues are served in order;
@@ -9,12 +10,23 @@
 //    holds TPCs the LS kernel needs;
 //  * bimodal tensors (§7.2): when colocated, memory-bound LS kernels run
 //    on (1−ChBE) of the channels and memory-bound BE kernels on ChBE;
-//    when either side is alone it gets every channel (monopolisation).
+//    when either side is alone it gets every channel (monopolisation);
+//  * vGPU guarantees (control::VgpuSpec on TenantSpec): a tenant's hard
+//    TPC region is packed first for its own kernels and never handed to
+//    anyone else — the tide flows only through unguaranteed TPCs.
+//    Channel shares re-derive the LS/BE channel split; priorities order
+//    the LS launch queue; BE weights split the tide pool when unequal.
+//
+// With no guarantees declared (all-default VgpuSpec), plan() emits
+// exactly the directive sequence the historic imperative schedule()
+// produced, so metrics are bit-for-bit identical — enforced by
+// tests/control_test.cc against a verbatim copy of the legacy code.
 //
 // SgdrcStaticPolicy is §9.2's "SGDRC (Static)" ablation: the same
 // partitions, frozen at an even split, with no tide and no preemption.
 #pragma once
 
+#include "control/controller.h"
 #include "core/serving.h"
 #include "gpusim/resources.h"
 
@@ -33,17 +45,22 @@ struct SgdrcOptions {
   TimeNs reserve_decay_interval = 100 * kNsPerUs;
 };
 
-class SgdrcPolicy : public Policy {
+class SgdrcPolicy : public control::Controller {
  public:
   explicit SgdrcPolicy(const gpusim::GpuSpec& spec, SgdrcOptions opt = {});
 
   std::string name() const override { return "SGDRC"; }
-  void schedule(ServingSim& sim) override;
+  control::ResourcePlan plan(const control::SimView& sim) override;
 
   gpusim::ChannelSet be_channels() const { return be_channels_; }
   gpusim::ChannelSet ls_channels() const { return ls_channels_; }
 
  private:
+  /// The LS/BE channel split for this plan: the ctor default, or one
+  /// re-derived from the active tenants' guaranteed channel shares.
+  void channel_split(const control::SimView& sim, gpusim::ChannelSet& ls,
+                     gpusim::ChannelSet& be) const;
+
   SgdrcOptions opt_;
   unsigned num_tpcs_;
   gpusim::ChannelSet be_channels_;  // ChBE  of the channels
@@ -53,12 +70,12 @@ class SgdrcPolicy : public Policy {
   TimeNs last_decay_ = 0;           // reserve decay clock
 };
 
-class SgdrcStaticPolicy : public Policy {
+class SgdrcStaticPolicy : public control::Controller {
  public:
   explicit SgdrcStaticPolicy(const gpusim::GpuSpec& spec);
 
   std::string name() const override { return "SGDRC (Static)"; }
-  void schedule(ServingSim& sim) override;
+  control::ResourcePlan plan(const control::SimView& sim) override;
 
  private:
   gpusim::TpcMask ls_mask_, be_mask_;

@@ -10,7 +10,7 @@ using workload::TenantMetrics;
 
 FleetSim::FleetSim(FleetConfig cfg, std::vector<FleetTenantSpec> tenants,
                    const PlacementPolicy& placement, Router& router,
-                   const PolicyFactory& make_policy)
+                   const ControllerFactory& make_policy)
     : cfg_(std::move(cfg)),
       tenants_(std::move(tenants)),
       router_(router),
@@ -41,8 +41,10 @@ FleetSim::FleetSim(FleetConfig cfg, std::vector<FleetTenantSpec> tenants,
   for (DeviceId d = 0; d < cfg_.devices; ++d) {
     if (per_device[d].empty()) continue;  // idled by pack placement
     policies_[d] = make_policy_(cfg_.spec);
-    devices_[d] = std::make_unique<core::ServingSim>(
-        queue_, device_config(d), per_device[d], *policies_[d]);
+    devices_[d] = core::ServingSimBuilder()
+                      .config(device_config(d))
+                      .tenants(per_device[d])
+                      .build(queue_, *policies_[d]);
   }
 }
 
@@ -69,9 +71,9 @@ core::ServingSim& FleetSim::ensure_device(DeviceId d) {
                   "FleetConfig::slo_multiplier");
     // Brought up mid-run (pack placement idled it at construction).
     policies_[d] = make_policy_(cfg_.spec);
-    devices_[d] = std::make_unique<core::ServingSim>(
-        queue_, device_config(d), std::vector<core::TenantSpec>{},
-        *policies_[d]);
+    devices_[d] = core::ServingSimBuilder()
+                      .config(device_config(d))
+                      .build(queue_, *policies_[d]);
     if (begun_) devices_[d]->begin();
   }
   return *devices_[d];
@@ -241,6 +243,14 @@ void FleetSim::set_slo_factor(double factor) {
   }
 }
 
+void FleetSim::set_fleet_vgpu(unsigned tenant, const control::VgpuSpec& vgpu) {
+  SGDRC_REQUIRE(tenant < tenants_.size(), "unknown fleet tenant");
+  tenants_[tenant].spec.vgpu = vgpu;  // future replicas inherit
+  for (const Replica& r : replicas_[tenant]) {
+    devices_[r.device]->set_vgpu(r.local_tenant, vgpu);
+  }
+}
+
 void FleetSim::dispatch(const Request& r) {
   const unsigned ft = ls_fleet_tenants_[r.service];
   const auto& reps = replicas_[ft];
@@ -277,6 +287,12 @@ double FleetMetrics::ls_goodput() const {
 
 double FleetMetrics::be_throughput() const {
   return workload::be_throughput(tenants, duration);
+}
+
+uint64_t FleetMetrics::guarantee_violations() const {
+  uint64_t n = 0;
+  for (const auto& d : devices) n += d.guarantee_violations;
+  return n;
 }
 
 double FleetMetrics::mean_attainment() const {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "control/controller.h"
 #include "core/serving.h"
 #include "fleet/placement.h"
 #include "fleet/router.h"
@@ -62,6 +63,8 @@ struct FleetMetrics {
 
   double ls_goodput() const;       // attained requests / s, fleet-wide
   double be_throughput() const;    // samples / s, fleet-wide
+  /// Launches that trespassed on a guaranteed vGPU region, fleet-wide.
+  uint64_t guarantee_violations() const;
   double overall_throughput() const {
     return ls_goodput() + be_throughput();
   }
@@ -77,10 +80,12 @@ struct FleetMetrics {
   double imbalance_max_over_mean() const;
 };
 
-/// Each device runs its own Policy instance (policies are stateful);
-/// the factory builds one per device.
-using PolicyFactory =
-    std::function<std::unique_ptr<core::Policy>(const gpusim::GpuSpec&)>;
+/// Each device runs its own controller instance (controllers are
+/// stateful — tidal clocks, cursors); the factory builds one per device.
+/// Legacy imperative policies slot in through control::adapt().
+using ControllerFactory = control::ControllerFactory;
+/// Historic name, kept so older drivers read naturally.
+using PolicyFactory = ControllerFactory;
 
 class FleetSim {
  public:
@@ -89,7 +94,7 @@ class FleetSim {
   /// kept (by copy) for devices brought up lazily mid-run.
   FleetSim(FleetConfig cfg, std::vector<FleetTenantSpec> tenants,
            const PlacementPolicy& placement, Router& router,
-           const PolicyFactory& make_policy);
+           const ControllerFactory& make_policy);
 
   /// Replay `trace` fleet-wide; Request::service indexes the LS fleet
   /// tenants in spec order. Single-shot: one run per FleetSim.
@@ -130,6 +135,10 @@ class FleetSim {
   /// Scale every LS SLO fleet-wide (factor < 1 tightens). Replicas added
   /// later inherit the accumulated factor.
   void set_slo_factor(double factor);
+  /// Re-plan a fleet tenant's vGPU guarantees (scenario set_quota): the
+  /// spec is updated so future replicas inherit it, and every active
+  /// replica's device re-carves its region and re-plans.
+  void set_fleet_vgpu(unsigned tenant, const control::VgpuSpec& vgpu);
 
   // ------------------------------------------- router / test read API ----
   unsigned device_count() const { return cfg_.devices; }
@@ -167,10 +176,10 @@ class FleetSim {
   FleetConfig cfg_;
   std::vector<FleetTenantSpec> tenants_;
   Router& router_;
-  PolicyFactory make_policy_;
+  ControllerFactory make_policy_;
   Assignment assignment_;
   EventQueue queue_;
-  std::vector<std::unique_ptr<core::Policy>> policies_;   // per device
+  std::vector<std::unique_ptr<control::Controller>> policies_;  // per device
   std::vector<std::unique_ptr<core::ServingSim>> devices_;  // null if idle
   std::vector<std::vector<Replica>> replicas_;  // active, per fleet tenant
   std::vector<std::vector<Replica>> retired_;   // removed, kept for metrics

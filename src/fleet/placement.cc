@@ -125,6 +125,64 @@ Assignment QosAwarePlacement::place(
   return out;
 }
 
+Assignment QuotaAwarePlacement::place(
+    const std::vector<FleetTenantSpec>& tenants, unsigned devices) const {
+  SGDRC_REQUIRE(capacity_ >= 1, "quota bin capacity must be positive");
+  // First-fit-decreasing over guaranteed TPCs: place the biggest
+  // reservations while every bin is still roomy, then balance the
+  // unguaranteed tenants onto whatever headroom is left.
+  std::vector<size_t> order(tenants.size());
+  for (size_t t = 0; t < order.size(); ++t) order[t] = t;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return tenants[a].spec.vgpu.guaranteed_tpcs >
+           tenants[b].spec.vgpu.guaranteed_tpcs;
+  });
+
+  std::vector<unsigned> reserved(devices, 0);  // guaranteed TPCs per bin
+  std::vector<unsigned> count(devices, 0);     // replicas per bin
+  Assignment out(tenants.size());
+  for (const size_t t : order) {
+    const unsigned g = tenants[t].spec.vgpu.guaranteed_tpcs;
+    std::vector<bool> used(devices, false);
+    for (unsigned r = 0; r < clamped_replicas(tenants[t], devices); ++r) {
+      const auto headroom = [&](DeviceId x) {
+        return capacity_ > reserved[x] ? capacity_ - reserved[x] : 0u;
+      };
+      DeviceId best = 0;
+      bool have = false;
+      if (g > 0) {
+        // First fit with room for the reservation.
+        for (DeviceId d = 0; d < devices && !have; ++d) {
+          if (!used[d] && reserved[d] + g <= capacity_) {
+            best = d;
+            have = true;
+          }
+        }
+      }
+      if (!have) {
+        // Unguaranteed replicas — and guaranteed ones no bin can hold
+        // (the device sim rejects truly overcommitted reservations at
+        // add time, loudly) — go to the most unreserved headroom,
+        // breaking ties toward the fewest replicas, then the lowest id.
+        for (DeviceId d = 0; d < devices; ++d) {
+          if (used[d]) continue;
+          if (!have || headroom(d) > headroom(best) ||
+              (headroom(d) == headroom(best) && count[d] < count[best])) {
+            best = d;
+            have = true;
+          }
+        }
+      }
+      SGDRC_CHECK(have, "quota placement found no device");
+      used[best] = true;
+      reserved[best] += g;
+      ++count[best];
+      out[t].push_back(best);
+    }
+  }
+  return out;
+}
+
 void validate_assignment(const Assignment& assignment,
                          const std::vector<FleetTenantSpec>& tenants,
                          unsigned devices) {

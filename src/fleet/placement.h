@@ -81,6 +81,26 @@ class QosAwarePlacement : public PlacementPolicy {
                    unsigned devices) const override;
 };
 
+/// Bin-pack by guaranteed vGPU TPCs (the ParvaGPU-style spatial-quota
+/// unit): guaranteed replicas go first-fit-decreasing against each
+/// device's TPC budget, so no device's hard reservations overcommit its
+/// SMs (a ServingSim would reject such a replica set outright);
+/// unguaranteed replicas then balance the residual TPC headroom,
+/// preferring devices with the most unreserved SMs. Ties break toward
+/// the lowest device id, keeping placements deterministic.
+class QuotaAwarePlacement : public PlacementPolicy {
+ public:
+  /// `tpcs_per_device` is the bin capacity (GpuSpec::num_tpcs).
+  explicit QuotaAwarePlacement(unsigned tpcs_per_device)
+      : capacity_(tpcs_per_device) {}
+  std::string name() const override { return "quota-aware"; }
+  Assignment place(const std::vector<FleetTenantSpec>& tenants,
+                   unsigned devices) const override;
+
+ private:
+  unsigned capacity_;
+};
+
 /// Check an assignment is well-formed: one entry per tenant,
 /// min(replicas, devices) distinct in-range devices each. Fails loudly —
 /// a bad placement would otherwise surface as confusing routing state.

@@ -107,6 +107,11 @@ struct ServingMetrics {
   TimeNs duration = 0;
   TimeNs ls_busy_ns = 0;  // wall time with ≥1 LS kernel in flight
   TimeNs be_busy_ns = 0;  // wall time with ≥1 BE kernel in flight
+  /// Launches that put a kernel inside another tenant's guaranteed vGPU
+  /// TPC region. Plan-emitting controllers are rejected outright by the
+  /// enforcer, so a non-zero count exposes a guarantee-blind legacy
+  /// policy running against guaranteed tenants.
+  uint64_t guarantee_violations = 0;
 
   /// Tenants of one class, in TenantId order (stable across runs of the
   /// same spec list, so results can be joined tenant-by-tenant).

@@ -51,6 +51,13 @@ Scenario& Scenario::slo_factor(TimeNs at, double factor) {
   return *this;
 }
 
+Scenario& Scenario::set_quota(TimeNs at, unsigned tenant_index,
+                              control::VgpuSpec vgpu) {
+  SGDRC_REQUIRE(at < duration_, "quota change past the scenario end");
+  quota_changes_.push_back({at, tenant_index, vgpu});
+  return *this;
+}
+
 Scenario& Scenario::devices(unsigned n) {
   SGDRC_REQUIRE(n >= 1, "scenario needs at least one device");
   devices_ = n;
@@ -209,6 +216,11 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
     }
   }
 
+  for (const auto& q : scenario.quota_changes()) {
+    SGDRC_REQUIRE(q.tenant < tenant_space,
+                  "quota change references an unknown tenant");
+  }
+
   fleet::FleetConfig fcfg;
   fcfg.spec = cfg.spec;
   fcfg.exec_params = cfg.exec_params;
@@ -248,6 +260,9 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
   }
   for (const auto& s : scenario.slo_changes()) {
     sim.at(s.at, [&sim, s] { sim.set_slo_factor(s.factor); });
+  }
+  for (const auto& q : scenario.quota_changes()) {
+    sim.at(q.at, [&sim, q] { sim.set_fleet_vgpu(q.tenant, q.vgpu); });
   }
   for (const Request& r : trace) {
     if (r.arrival >= scenario.duration()) continue;

@@ -66,6 +66,11 @@ class Scenario {
   Scenario& depart(TimeNs at, unsigned tenant_index);
   /// Multiply every LS SLO by `factor` from `at` (< 1 tightens).
   Scenario& slo_factor(TimeNs at, double factor);
+  /// Re-plan one tenant's vGPU guarantees from `at` (scripted quota
+  /// change: grow/shrink a hard TPC reservation or channel share
+  /// mid-run). `tenant_index` is the combined fleet index.
+  Scenario& set_quota(TimeNs at, unsigned tenant_index,
+                      control::VgpuSpec vgpu);
   /// Fleet size the scenario expects (default 2).
   Scenario& devices(unsigned n);
   /// Put a reactive autoscaler in the loop.
@@ -89,6 +94,11 @@ class Scenario {
     TimeNs at = 0;
     double factor = 1.0;
   };
+  struct QuotaChange {
+    TimeNs at = 0;
+    unsigned tenant = 0;
+    control::VgpuSpec vgpu;
+  };
 
   const std::string& name() const { return name_; }
   const std::string& description() const { return description_; }
@@ -102,6 +112,9 @@ class Scenario {
   const std::vector<Arrival>& arrivals() const { return arrivals_; }
   const std::vector<Departure>& departures() const { return departures_; }
   const std::vector<SloChange>& slo_changes() const { return slo_changes_; }
+  const std::vector<QuotaChange>& quota_changes() const {
+    return quota_changes_;
+  }
 
  private:
   std::string name_;
@@ -114,6 +127,7 @@ class Scenario {
   std::vector<Arrival> arrivals_;
   std::vector<Departure> departures_;
   std::vector<SloChange> slo_changes_;
+  std::vector<QuotaChange> quota_changes_;
 };
 
 /// The substrate a scenario runs on. slo_multiplier must be explicit

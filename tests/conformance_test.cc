@@ -1,0 +1,127 @@
+// Policy/controller conformance: every system in the shared registry
+// (src/baselines/registry.h) runs over the same mini scenario and must
+// uphold the substrate invariants, whatever its scheduling strategy:
+//
+//  * only best-effort kernels are ever evicted (LS requests are
+//    inviolable — eviction flags exist only on preemptible kernels);
+//  * no launch of in-flight jobs / no phantom jobs (the sim throws, so
+//    completing the run is the assertion);
+//  * request-count conservation: every arrived request is either served
+//    or still in the system when the run ends;
+//  * bit-identical reruns at a fixed seed (fresh controller, fresh sim).
+#include <gtest/gtest.h>
+
+#include "baselines/registry.h"
+#include "core/harness.h"
+#include "models/zoo.h"
+
+namespace sgdrc::core {
+namespace {
+
+HarnessOptions mini_options() {
+  HarnessOptions o;
+  o.spec = gpusim::test_gpu();
+  o.ls_letters = "AB";
+  o.be_letters = "IJ";
+  o.utilization = 0.6;
+  o.burstiness = 0.35;
+  o.duration = 80 * kNsPerMs;
+  o.seed = 0xc0f;
+  return o;
+}
+
+const ServingHarness& mini_harness() {
+  static const ServingHarness h(mini_options());
+  return h;
+}
+
+/// Build the same sim the harness would, but keep it so post-run state
+/// (outstanding requests) stays queryable.
+std::unique_ptr<ServingSim> build_mini_sim(const ServingHarness& h,
+                                           control::Controller& controller,
+                                           bool spt) {
+  ServingSimBuilder b;
+  b.gpu(h.options().spec)
+      .duration(h.options().duration)
+      .slo_multiplier(static_cast<double>(h.ls_count() + 1));
+  for (size_t i = 0; i < h.ls_count(); ++i) {
+    b.add_latency_sensitive(spt ? h.ls_model_spt(i) : h.ls_model(i),
+                            h.isolated_latency(i));
+  }
+  for (size_t i = 0; i < h.be_count(); ++i) {
+    b.add_best_effort(spt ? h.be_model_spt(i) : h.be_model(i));
+  }
+  return b.build(controller);
+}
+
+void expect_identical(const workload::ServingMetrics& a,
+                      const workload::ServingMetrics& b,
+                      const std::string& system) {
+  ASSERT_EQ(a.tenants.size(), b.tenants.size()) << system;
+  for (size_t t = 0; t < a.tenants.size(); ++t) {
+    const auto& x = a.tenants[t];
+    const auto& y = b.tenants[t];
+    EXPECT_EQ(x.arrived, y.arrived) << system << " tenant " << t;
+    EXPECT_EQ(x.served, y.served) << system << " tenant " << t;
+    EXPECT_EQ(x.attained, y.attained) << system << " tenant " << t;
+    EXPECT_EQ(x.evictions, y.evictions) << system << " tenant " << t;
+    EXPECT_EQ(x.kernels_done, y.kernels_done) << system << " tenant " << t;
+    ASSERT_EQ(x.latency.count(), y.latency.count())
+        << system << " tenant " << t;
+    if (!x.latency.empty()) {
+      EXPECT_EQ(x.latency.p99(), y.latency.p99())
+          << system << " tenant " << t;
+    }
+  }
+}
+
+class ConformanceTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ConformanceTest, SharedInvariantsHold) {
+  const auto& sys = baselines::system_registry()[GetParam()];
+  const ServingHarness& h = mini_harness();
+
+  const auto controller = sys.make(h.options().spec);
+  auto sim = build_mini_sim(h, *controller, sys.uses_spt);
+  const auto m = sim->run(h.trace());
+
+  uint64_t total_served = 0;
+  for (workload::TenantId t = 0; t < m.tenants.size(); ++t) {
+    const auto& tm = m.tenants[t];
+    if (tm.qos == workload::QosClass::kLatencySensitive) {
+      // Only BE kernels are ever evicted.
+      EXPECT_EQ(tm.evictions, 0u) << sys.name;
+      // Conservation: arrived = served + still-in-system at the cut.
+      EXPECT_EQ(tm.arrived, tm.served + sim->outstanding(t)) << sys.name;
+      total_served += tm.served;
+      EXPECT_GE(tm.served, tm.attained) << sys.name;
+      EXPECT_EQ(tm.served, tm.latency.count()) << sys.name;
+    } else {
+      EXPECT_GE(tm.kernels_done,
+                tm.batches_completed * tm.kernels_per_batch)
+          << sys.name;
+    }
+  }
+  // The mini scenario is busy enough that a conforming scheduler serves
+  // work on every system.
+  EXPECT_GT(total_served, 0u) << sys.name;
+
+  // Bit-identical rerun: fresh controller, fresh sim, same seed.
+  const auto controller2 = sys.make(h.options().spec);
+  auto sim2 = build_mini_sim(h, *controller2, sys.uses_spt);
+  expect_identical(m, sim2->run(h.trace()), sys.name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, ConformanceTest,
+    ::testing::Range<size_t>(0, baselines::system_registry().size()),
+    [](const ::testing::TestParamInfo<size_t>& info) {
+      std::string name = baselines::system_registry()[info.param].name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace sgdrc::core

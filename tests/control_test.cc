@@ -1,0 +1,665 @@
+// Control-plane tests: the declarative ResourcePlan/Controller API, the
+// enforcer inside ServingSim (explicit allocations, guaranteed-region
+// validation, pre_applied traces), vGPU quota wiring (regions, set_vgpu,
+// overcommit), and — the redesign's anchor — bit-for-bit equivalence of
+// the plan-emitting SGDRC controllers with a verbatim copy of the
+// historic imperative implementation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+
+#include "baselines/baseline_policies.h"
+#include "control/controller.h"
+#include "core/harness.h"
+#include "core/sgdrc_policy.h"
+#include "fleet/fleet.h"
+#include "models/zoo.h"
+
+namespace sgdrc::core {
+namespace {
+
+using control::Allocation;
+using control::Controller;
+using control::ResourcePlan;
+using control::SimView;
+using control::VgpuSpec;
+using gpusim::ChannelSet;
+using gpusim::TpcMask;
+
+// ===================================================================
+// Verbatim copies of the pre-redesign imperative policies (the last
+// Policy-based SgdrcPolicy/SgdrcStaticPolicy), kept here as the golden
+// reference: the plan-emitting rewrite must reproduce their metrics
+// bit-for-bit on identical fixed-seed runs.
+// ===================================================================
+
+class LegacyImperativeSgdrc : public Policy {
+ public:
+  explicit LegacyImperativeSgdrc(const gpusim::GpuSpec& spec,
+                                 SgdrcOptions opt = {})
+      : opt_(opt), num_tpcs_(spec.num_tpcs) {
+    be_channels_ = be_channel_partition(spec, opt_.ch_be);
+    ls_channels_ = gpusim::all_channels(spec.num_channels) & ~be_channels_;
+  }
+
+  std::string name() const override { return "SGDRC (legacy imperative)"; }
+
+  void schedule(ServingSim& sim) override {
+    const auto waiting = sim.waiting_jobs(QosClass::kLatencySensitive);
+    const bool ls_active =
+        !waiting.empty() || sim.inflight(QosClass::kLatencySensitive) > 0;
+
+    if (ls_active) last_ls_activity_ = sim.now();
+
+    struct BeRun {
+      JobId job;
+      TpcMask mask;
+      bool monopolising;
+      bool evicting;
+    };
+    TpcMask ls_used = 0;
+    TpcMask be_mask_running = 0;
+    bool be_memory_bound_in_flight = false;
+    std::vector<BeRun> be_runs;
+    for (const auto& info : sim.exec().running_infos()) {
+      const auto job = sim.find_job(info.tag);
+      if (job && job->qos == QosClass::kBestEffort) {
+        const TpcMask mask =
+            info.tpc_mask ? info.tpc_mask : gpusim::full_tpc_mask(num_tpcs_);
+        be_mask_running |= mask;
+        be_memory_bound_in_flight |= info.kernel->memory_bound;
+        const bool monopolising =
+            info.channels == 0 && info.kernel->memory_bound;
+        be_runs.push_back({job->id, mask, monopolising, job->evicting});
+      } else {
+        ls_used |= info.tpc_mask;
+      }
+    }
+
+    TpcMask claimed_from_be = 0;
+    if (!waiting.empty()) {
+      const bool colocated = be_memory_bound_in_flight;
+      size_t launched = 0;
+      for (const auto& job : waiting) {
+        if (launched >= opt_.sliding_window) break;
+        if (ls_used == gpusim::full_tpc_mask(num_tpcs_)) break;
+        const unsigned need = std::max(1u, job.next_kernel->min_tpcs);
+        TpcMask mask = 0;
+        unsigned got = 0;
+        for (int t = static_cast<int>(num_tpcs_) - 1; t >= 0 && got < need;
+             --t) {
+          const TpcMask bit = gpusim::tpc_bit(static_cast<unsigned>(t));
+          if ((ls_used | be_mask_running) & bit) continue;
+          mask |= bit;
+          ++got;
+        }
+        for (int t = static_cast<int>(num_tpcs_) - 1; t >= 0 && got < need;
+             --t) {
+          const TpcMask bit = gpusim::tpc_bit(static_cast<unsigned>(t));
+          if ((ls_used & bit) || !(be_mask_running & bit)) continue;
+          mask |= bit;
+          ++got;
+          claimed_from_be |= bit;
+        }
+        if (got == 0) break;
+        ls_used |= mask;
+        sim.launch(job.id, {mask, colocated ? ls_channels_ : 0});
+        ++launched;
+      }
+    }
+
+    for (const auto& run : be_runs) {
+      if (run.evicting) continue;
+      if ((ls_active && run.monopolising) || (run.mask & claimed_from_be)) {
+        sim.evict(run.job);
+      }
+    }
+
+    if (!ls_active && claimed_from_be == 0) {
+      for (const auto& run : be_runs) {
+        if (run.evicting) continue;
+        const bool colocated_mode =
+            run.mask != gpusim::full_tpc_mask(num_tpcs_);
+        if (!colocated_mode) continue;
+        if (sim.now() >= last_ls_activity_ + 200 * kNsPerUs) {
+          sim.evict(run.job);
+        } else {
+          sim.poke_at(last_ls_activity_ + 200 * kNsPerUs);
+        }
+      }
+    }
+
+    unsigned window_need = 1;
+    for (const auto* k : sim.upcoming_kernels(QosClass::kLatencySensitive,
+                                              opt_.sliding_window)) {
+      window_need = std::max(window_need, std::max(1u, k->min_tpcs));
+    }
+    window_need = std::max(window_need, gpusim::tpc_count(ls_used));
+    if (window_need >= ls_reserve_) {
+      ls_reserve_ = std::min(num_tpcs_, window_need);
+      last_decay_ = sim.now();
+    } else if (sim.now() >= last_decay_ + opt_.reserve_decay_interval) {
+      const unsigned steps = static_cast<unsigned>(
+          (sim.now() - last_decay_) / opt_.reserve_decay_interval);
+      ls_reserve_ = std::max(
+          window_need, ls_reserve_ > steps ? ls_reserve_ - steps : 1u);
+      last_decay_ = sim.now();
+    }
+
+    for (const auto& job : sim.waiting_jobs(QosClass::kBestEffort)) {
+      if (!ls_active) {
+        sim.launch(job.id, {0, 0});
+      } else {
+        const TpcMask reserved =
+            gpusim::tpc_range(num_tpcs_ - ls_reserve_, ls_reserve_);
+        const TpcMask free =
+            gpusim::full_tpc_mask(num_tpcs_) & ~ls_used & ~reserved;
+        if (free) {
+          sim.launch(job.id, {free, be_channels_});
+        }
+      }
+    }
+  }
+
+ private:
+  SgdrcOptions opt_;
+  unsigned num_tpcs_;
+  ChannelSet be_channels_;
+  ChannelSet ls_channels_;
+  TimeNs last_ls_activity_ = 0;
+  unsigned ls_reserve_ = 1;
+  TimeNs last_decay_ = 0;
+};
+
+class LegacyImperativeStatic : public Policy {
+ public:
+  explicit LegacyImperativeStatic(const gpusim::GpuSpec& spec) {
+    const unsigned half = spec.num_tpcs / 2;
+    ls_mask_ = gpusim::tpc_range(half, spec.num_tpcs - half);
+    be_mask_ = gpusim::tpc_range(0, half);
+    be_channels_ = be_channel_partition(spec, 0.5);
+    ls_channels_ = gpusim::all_channels(spec.num_channels) & ~be_channels_;
+  }
+
+  std::string name() const override { return "SGDRC Static (legacy)"; }
+
+  void schedule(ServingSim& sim) override {
+    TpcMask ls_used = 0;
+    for (const auto& info : sim.exec().running_infos()) {
+      const auto job = sim.find_job(info.tag);
+      if (!job || job->qos != QosClass::kBestEffort) ls_used |= info.tpc_mask;
+    }
+    for (const auto& job : sim.waiting_jobs(QosClass::kLatencySensitive)) {
+      const TpcMask free = ls_mask_ & ~ls_used;
+      if (!free) break;
+      const unsigned need = std::max(1u, job.next_kernel->min_tpcs);
+      TpcMask mask = 0;
+      unsigned got = 0;
+      for (int t = 63; t >= 0 && got < need; --t) {
+        const TpcMask bit = TpcMask{1} << t;
+        if (!(free & bit)) continue;
+        mask |= bit;
+        ++got;
+      }
+      ls_used |= mask;
+      sim.launch(job.id, {mask, ls_channels_});
+    }
+    for (const auto& job : sim.waiting_jobs(QosClass::kBestEffort)) {
+      sim.launch(job.id, {be_mask_, be_channels_});
+    }
+  }
+
+ private:
+  TpcMask ls_mask_, be_mask_;
+  ChannelSet ls_channels_, be_channels_;
+};
+
+// ------------------------------------------------------------------
+// Exact metric equality: the simulation is deterministic, so a faithful
+// rewrite reproduces every counter and every latency sample.
+// ------------------------------------------------------------------
+void expect_metrics_equal(const workload::ServingMetrics& a,
+                          const workload::ServingMetrics& b) {
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  EXPECT_EQ(a.ls_busy_ns, b.ls_busy_ns);
+  EXPECT_EQ(a.be_busy_ns, b.be_busy_ns);
+  EXPECT_EQ(a.guarantee_violations, b.guarantee_violations);
+  for (size_t t = 0; t < a.tenants.size(); ++t) {
+    const auto& x = a.tenants[t];
+    const auto& y = b.tenants[t];
+    EXPECT_EQ(x.arrived, y.arrived) << "tenant " << t;
+    EXPECT_EQ(x.served, y.served) << "tenant " << t;
+    EXPECT_EQ(x.attained, y.attained) << "tenant " << t;
+    EXPECT_EQ(x.evictions, y.evictions) << "tenant " << t;
+    EXPECT_EQ(x.kernels_done, y.kernels_done) << "tenant " << t;
+    EXPECT_EQ(x.batches_completed, y.batches_completed) << "tenant " << t;
+    ASSERT_EQ(x.latency.count(), y.latency.count()) << "tenant " << t;
+    if (!x.latency.empty()) {
+      // Exact double equality on purpose: same samples, same order.
+      EXPECT_EQ(x.latency.mean(), y.latency.mean()) << "tenant " << t;
+      EXPECT_EQ(x.latency.p99(), y.latency.p99()) << "tenant " << t;
+    }
+  }
+}
+
+HarnessOptions fig17_like_options(double load_scale, BeMode be_mode) {
+  HarnessOptions o;
+  o.spec = gpusim::rtx_a2000();
+  o.ls_letters = "ABC";
+  o.be_letters = "IJ";
+  o.utilization = 1.45;
+  o.load_scale = load_scale;
+  o.burstiness = 0.35;
+  o.duration = 120 * kNsPerMs;
+  o.be_mode = be_mode;
+  o.seed = 0xf17;
+  return o;
+}
+
+TEST(PlanEquivalence, SgdrcPlanPathMatchesLegacyImperativeBitForBit) {
+  for (const double load : {1.0, 0.5}) {
+    const ServingHarness h(fig17_like_options(load, BeMode::kRoundRobin));
+    SgdrcPolicy plan_based(h.options().spec);
+    LegacyImperativeSgdrc imperative(h.options().spec);
+    expect_metrics_equal(h.run(plan_based, true), h.run(imperative, true));
+  }
+}
+
+TEST(PlanEquivalence, SgdrcPlanPathMatchesLegacyUnderConcurrentBe) {
+  const ServingHarness h(fig17_like_options(1.0, BeMode::kConcurrent));
+  SgdrcPolicy plan_based(h.options().spec);
+  LegacyImperativeSgdrc imperative(h.options().spec);
+  expect_metrics_equal(h.run(plan_based, true), h.run(imperative, true));
+}
+
+TEST(PlanEquivalence, SgdrcPlanPathMatchesLegacyInASharedQueueFleet) {
+  // Fleet regression for the full-mask encoding: an LS kernel packed
+  // onto every TPC must stay an *explicit* mask through the enforcer
+  // (only Allocation::all() compiles to the legacy 0), or the next
+  // plan's occupancy snapshot loses it and routing diverges.
+  HarnessOptions o = fig17_like_options(1.0, BeMode::kRoundRobin);
+  o.utilization = 0.8;
+  const ServingHarness h(o);
+  workload::TraceOptions topt;
+  topt.services = static_cast<unsigned>(h.ls_count());
+  topt.duration = o.duration;
+  topt.burstiness = o.burstiness;
+  topt.seed = o.seed + 2;
+  for (size_t i = 0; i < h.ls_count(); ++i) {
+    topt.per_service_rates.push_back(h.rate_for(i) * 2.0);
+  }
+  const auto trace = workload::generate_apollo_like_trace(topt);
+
+  auto run = [&](const fleet::ControllerFactory& f) {
+    fleet::FleetConfig cfg;
+    cfg.spec = o.spec;
+    cfg.devices = 2;
+    cfg.duration = o.duration;
+    cfg.slo_multiplier = 4.0;
+    cfg.seed = 0xf1ee7;
+    cfg.dispatch_latency = 2 * kNsPerUs;
+    cfg.dispatch_jitter = 3 * kNsPerUs;
+    std::vector<fleet::FleetTenantSpec> tenants;
+    for (size_t i = 0; i < h.ls_count(); ++i) {
+      tenants.push_back(fleet::replicated(
+          latency_sensitive_tenant(h.ls_model_spt(i), h.isolated_latency(i)),
+          2));
+    }
+    for (size_t i = 0; i < h.be_count(); ++i) {
+      tenants.push_back(
+          fleet::replicated(best_effort_tenant(h.be_model_spt(i)), 2));
+    }
+    fleet::QosAwarePlacement placement;
+    fleet::QosLoadAwareRouter router;
+    fleet::FleetSim sim(cfg, std::move(tenants), placement, router, f);
+    return sim.run(trace);
+  };
+  const auto plan_based =
+      run([](const gpusim::GpuSpec& gs) -> std::unique_ptr<Controller> {
+        return std::make_unique<SgdrcPolicy>(gs);
+      });
+  const auto imperative = run([](const gpusim::GpuSpec& gs) {
+    return control::adapt(std::make_unique<LegacyImperativeSgdrc>(gs));
+  });
+  EXPECT_EQ(plan_based.routed, imperative.routed);
+  ASSERT_EQ(plan_based.tenants.size(), imperative.tenants.size());
+  for (size_t t = 0; t < plan_based.tenants.size(); ++t) {
+    EXPECT_EQ(plan_based.tenants[t].served, imperative.tenants[t].served);
+    EXPECT_EQ(plan_based.tenants[t].kernels_done,
+              imperative.tenants[t].kernels_done);
+    ASSERT_EQ(plan_based.tenants[t].latency.count(),
+              imperative.tenants[t].latency.count());
+    if (!plan_based.tenants[t].latency.empty()) {
+      EXPECT_EQ(plan_based.tenants[t].latency.p99(),
+                imperative.tenants[t].latency.p99());
+    }
+  }
+}
+
+TEST(PlanEquivalence, StaticPlanPathMatchesLegacyImperativeBitForBit) {
+  const ServingHarness h(fig17_like_options(1.0, BeMode::kRoundRobin));
+  SgdrcStaticPolicy plan_based(h.options().spec);
+  LegacyImperativeStatic imperative(h.options().spec);
+  expect_metrics_equal(h.run(plan_based, true), h.run(imperative, true));
+}
+
+// ===================================================================
+// Plan / enforcer mechanics on a small synthetic setup.
+// ===================================================================
+
+/// Controller driven by a std::function — scripts plans from tests.
+class FnController : public Controller {
+ public:
+  explicit FnController(std::function<ResourcePlan(const SimView&)> fn)
+      : fn_(std::move(fn)) {}
+  std::string name() const override { return "test-fn-controller"; }
+  ResourcePlan plan(const SimView& view) override { return fn_(view); }
+
+ private:
+  std::function<ResourcePlan(const SimView&)> fn_;
+};
+
+models::ModelDesc tiny_be_model(const std::string& name, char letter) {
+  models::ModelDesc m;
+  m.name = name;
+  m.letter = letter;
+  m.service = models::ServiceClass::kBestEffort;
+  m.batch = 4;
+  for (int i = 0; i < 3; ++i) {
+    gpusim::KernelDesc k;
+    k.name = name + ".k" + std::to_string(i);
+    k.flops = 4'000'000;
+    k.bytes = 200'000;
+    k.blocks = 64;
+    k.max_useful_tpcs = 4;
+    k.preemptible = true;
+    k.memory_bound = i == 1;
+    k.min_tpcs = 1;
+    m.kernels.push_back(std::move(k));
+  }
+  return m;
+}
+
+ServingSimBuilder two_be_builder() {
+  return ServingSimBuilder()
+      .gpu(gpusim::test_gpu())
+      .duration(20 * kNsPerMs)
+      .add_best_effort(tiny_be_model("tiny-x", 'X'))
+      .add_best_effort(tiny_be_model("tiny-y", 'Y'));
+}
+
+TEST(ResourcePlanApi, EmptyAllocationIsRejectedLoudly) {
+  // The zero-means-all footgun is gone: a plan with a default-initialised
+  // Allocation must fail, pointing at Allocation::all().
+  FnController c([&](const SimView& view) {
+    ResourcePlan p;
+    for (const auto& job : view.waiting_jobs(QosClass::kBestEffort)) {
+      p.launch(job.id, Allocation{});  // forgot the masks
+    }
+    return p;
+  });
+  auto sim = two_be_builder().build(c);
+  EXPECT_THROW(sim->run({}), ConfigError);
+}
+
+TEST(ResourcePlanApi, AllocationAllBehavesLikeLegacyMonopolisation) {
+  // Allocation::all() compiles to the canonical whole-device launch: the
+  // executor sees the same encoding the legacy {0,0} produced.
+  FnController c([&](const SimView& view) {
+    ResourcePlan p;
+    if (view.inflight(QosClass::kBestEffort) == 0) {
+      const auto waiting = view.waiting_jobs(QosClass::kBestEffort);
+      if (!waiting.empty()) p.launch(waiting.front().id, Allocation::all());
+    }
+    return p;
+  });
+  auto sim = two_be_builder().build(c);
+  sim->begin();  // the first plan launches a batch kernel at t = 0
+  const auto infos = sim->exec().running_infos();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].tpc_mask, 0u);  // canonical "all TPCs"
+  EXPECT_EQ(infos[0].channels, 0u);  // canonical "all channels"
+  const auto m = sim->finish();
+  EXPECT_EQ(m.guarantee_violations, 0u);
+}
+
+TEST(ResourcePlanApi, OutOfDeviceMasksAreRejected) {
+  FnController c([&](const SimView& view) {
+    ResourcePlan p;
+    const auto waiting = view.waiting_jobs(QosClass::kBestEffort);
+    if (!waiting.empty()) {
+      // TPC 63 does not exist on the 4-TPC test GPU.
+      p.launch(waiting.front().id,
+               Allocation{gpusim::tpc_bit(63), ~ChannelSet{0}});
+    }
+    return p;
+  });
+  auto sim = two_be_builder().build(c);
+  EXPECT_THROW(sim->run({}), ConfigError);
+}
+
+TEST(ResourcePlanApi, WakeAtDirectiveReplansLater) {
+  size_t plans = 0;
+  FnController c([&](const SimView& view) {
+    ++plans;
+    ResourcePlan p;
+    if (view.now() < 1 * kNsPerMs) p.wake_at(view.now() + 100 * kNsPerUs);
+    EXPECT_EQ(p.next_wakeup().has_value(), view.now() < 1 * kNsPerMs);
+    return p;
+  });
+  auto sim = two_be_builder().build(c);
+  sim->run({});
+  EXPECT_GE(plans, 10u);  // ~1ms of 100us self-wakeups
+}
+
+// ===================================================================
+// vGPU guarantees: regions, enforcement, runtime re-planning.
+// ===================================================================
+
+TEST(VgpuQuota, RegionsAreCarvedDisjointLsTopBeBottom) {
+  FnController idle([](const SimView&) { return ResourcePlan{}; });
+  auto sim = ServingSimBuilder()
+                 .gpu(gpusim::test_gpu())  // 4 TPCs
+                 .duration(1 * kNsPerMs)
+                 .add_best_effort(tiny_be_model("tiny-x", 'X'))
+                 .quota({.guaranteed_tpcs = 1})
+                 .add_best_effort(tiny_be_model("tiny-y", 'Y'))
+                 .quota({.guaranteed_tpcs = 2})
+                 .build(idle);
+  const TpcMask x = sim->guaranteed_mask(0);
+  const TpcMask y = sim->guaranteed_mask(1);
+  EXPECT_EQ(gpusim::tpc_count(x), 1u);
+  EXPECT_EQ(gpusim::tpc_count(y), 2u);
+  EXPECT_EQ(x & y, 0u);
+  EXPECT_EQ(x, gpusim::tpc_bit(0));  // BE regions grow from the bottom
+  EXPECT_EQ(sim->guaranteed_union(QosClass::kBestEffort), x | y);
+}
+
+TEST(VgpuQuota, OvercommittedGuaranteesAreRejectedAtConstruction) {
+  FnController idle([](const SimView&) { return ResourcePlan{}; });
+  EXPECT_THROW(ServingSimBuilder()
+                   .gpu(gpusim::test_gpu())  // 4 TPCs
+                   .add_best_effort(tiny_be_model("tiny-x", 'X'))
+                   .quota({.guaranteed_tpcs = 3})
+                   .add_best_effort(tiny_be_model("tiny-y", 'Y'))
+                   .quota({.guaranteed_tpcs = 2})
+                   .build(idle),
+               ConfigError);
+  EXPECT_THROW(ServingSimBuilder()
+                   .gpu(gpusim::test_gpu())
+                   .add_best_effort(tiny_be_model("tiny-x", 'X'))
+                   .quota({.channel_share = 0.7})
+                   .add_best_effort(tiny_be_model("tiny-y", 'Y'))
+                   .quota({.channel_share = 0.6})
+                   .build(idle),
+               ConfigError);
+}
+
+TEST(VgpuQuota, PlanTrespassingOnForeignRegionIsRejected) {
+  // Tenant 0 deliberately launches into tenant 1's guaranteed region:
+  // the enforcer must refuse the plan.
+  FnController c([&](const SimView& view) {
+    ResourcePlan p;
+    for (const auto& job : view.waiting_jobs(QosClass::kBestEffort)) {
+      if (job.tenant == 0) {
+        p.launch(job.id, Allocation{view.guaranteed_mask(1), ~ChannelSet{0}});
+      }
+    }
+    return p;
+  });
+  // The quota rides on the last-added tenant (tiny-y, tenant 1).
+  auto sim = two_be_builder().quota({.guaranteed_tpcs = 2}).build(c);
+  EXPECT_THROW(sim->run({}), ConfigError);
+}
+
+TEST(VgpuQuota, LegacyPoliciesAreCountedNotCrashed) {
+  // A guarantee-blind imperative policy (Multi-streaming launches
+  // everything whole-device) runs against guaranteed tenants: its traced
+  // plans are logs, so the run completes, but every trespass is counted.
+  baselines::MultiStreamPolicy ms;
+  auto sim = two_be_builder().quota({.guaranteed_tpcs = 2}).build(ms);
+  const auto m = sim->run({});
+  EXPECT_GT(m.guarantee_violations, 0u);
+}
+
+TEST(VgpuQuota, SetVgpuRecarvesAndValidates) {
+  FnController idle([](const SimView&) { return ResourcePlan{}; });
+  auto sim = two_be_builder().build(idle);
+  EXPECT_EQ(sim->guaranteed_mask(0), 0u);
+  sim->set_vgpu(0, {.guaranteed_tpcs = 2});
+  EXPECT_EQ(gpusim::tpc_count(sim->guaranteed_mask(0)), 2u);
+  sim->set_vgpu(0, {.guaranteed_tpcs = 1});
+  EXPECT_EQ(gpusim::tpc_count(sim->guaranteed_mask(0)), 1u);
+  // Freed head-room is available to the other tenant again.
+  sim->set_vgpu(1, {.guaranteed_tpcs = 3});
+  EXPECT_EQ(gpusim::tpc_count(sim->guaranteed_mask(1)), 3u);
+  // And overcommit on top of the live set still throws — without
+  // touching the tenant's current guarantee (strong exception safety:
+  // a rejected re-plan means "old quota still holds").
+  EXPECT_THROW(sim->set_vgpu(0, {.guaranteed_tpcs = 2}), ConfigError);
+  EXPECT_EQ(gpusim::tpc_count(sim->guaranteed_mask(0)), 1u);
+  EXPECT_EQ(sim->tenant(0).vgpu.guaranteed_tpcs, 1u);
+}
+
+TEST(VgpuQuota, RemovalReleasesTheRegion) {
+  FnController idle([](const SimView&) { return ResourcePlan{}; });
+  auto sim = two_be_builder().quota({.guaranteed_tpcs = 3}).build(idle);
+  EXPECT_EQ(gpusim::tpc_count(sim->guaranteed_mask(1)), 3u);
+  sim->begin();
+  sim->remove_tenant(1);
+  EXPECT_EQ(sim->guaranteed_mask(1), 0u);
+  sim->set_vgpu(0, {.guaranteed_tpcs = 4});  // the whole device again
+  EXPECT_EQ(gpusim::tpc_count(sim->guaranteed_mask(0)), 4u);
+  sim->finish();
+}
+
+TEST(VgpuQuota, UnequalBeWeightsPartitionTheTideProportionally) {
+  // Plan-level check: with LS active and two waiting BE jobs weighted
+  // 1 vs 3, SGDRC splits the tide pool into disjoint slices sized from
+  // the *whole* pool (the heavy tenant gets ~3x, and the last tenant
+  // picks up the rounding dust — nothing idles). Equal weights keep the
+  // legacy full-overlap sharing, covered by the equivalence suite.
+  FnController idle([](const SimView&) { return ResourcePlan{}; });
+  auto sim = ServingSimBuilder()
+                 .gpu(gpusim::rtx_a2000())  // 13 TPCs
+                 .duration(20 * kNsPerMs)
+                 .best_effort_mode(BeMode::kConcurrent)
+                 .add_latency_sensitive(tiny_be_model("tiny-ls", 'L'),
+                                        1 * kNsPerMs)
+                 .add_best_effort(tiny_be_model("tiny-x", 'X'))
+                 .quota({.weight = 1.0})
+                 .add_best_effort(tiny_be_model("tiny-y", 'Y'))
+                 .quota({.weight = 3.0})
+                 .build(idle);
+  sim->begin();
+  sim->inject(0, 0);  // one waiting LS request keeps LS "active"
+  SgdrcPolicy sgdrc(gpusim::rtx_a2000());
+  const auto plan = sgdrc.plan(SimView(*sim));
+  TpcMask slice[2] = {0, 0};
+  for (const auto& d : plan.directives) {
+    if (d.kind != control::Directive::Kind::kLaunch) continue;
+    const auto job = sim->find_job(d.job);
+    ASSERT_TRUE(job.has_value());
+    if (job->qos == QosClass::kBestEffort) {
+      slice[job->tenant - 1] = d.alloc.tpcs;
+    }
+  }
+  ASSERT_NE(slice[0], 0u);
+  ASSERT_NE(slice[1], 0u);
+  EXPECT_EQ(slice[0] & slice[1], 0u);  // disjoint partition
+  EXPECT_GE(gpusim::tpc_count(slice[1]), 2 * gpusim::tpc_count(slice[0]));
+  sim->finish();
+}
+
+TEST(VgpuQuota, SgdrcControllerKeepsBeOutOfGuaranteedLsRegion) {
+  // An LS tenant with a hard 2-TPC guarantee against a BE batch tenant:
+  // SGDRC's tide must never hand those TPCs to BE (zero violations, and
+  // every BE running mask stays clear of the region).
+  HarnessOptions o = fig17_like_options(1.0, BeMode::kRoundRobin);
+  o.ls_letters = "A";
+  o.be_letters = "I";
+  o.duration = 60 * kNsPerMs;
+  const ServingHarness h(o);
+
+  ServingSimBuilder builder;
+  builder.gpu(o.spec)
+      .duration(o.duration)
+      .slo_multiplier(2.0)
+      .add_latency_sensitive(h.ls_model_spt(0), h.isolated_latency(0))
+      .quota({.guaranteed_tpcs = 4})
+      .add_best_effort(h.be_model_spt(0));
+  SgdrcPolicy sgdrc(o.spec);
+  auto sim = builder.build(sgdrc);
+  const TpcMask region = sim->guaranteed_mask(0);
+  EXPECT_EQ(gpusim::tpc_count(region), 4u);
+  const auto m = sim->run(h.trace());
+  EXPECT_EQ(m.guarantee_violations, 0u);
+  EXPECT_GT(m.tenants[0].served, 0u);
+  EXPECT_GT(m.tenants[1].kernels_done, 0u);  // BE still made progress
+}
+
+// ===================================================================
+// Builder additions: config()/tenants() round-trip and the fleet-mode
+// build(EventQueue&, …) overloads.
+// ===================================================================
+
+TEST(BuilderApi, FleetModeOverloadSharesTheExternalQueue) {
+  EventQueue queue;
+  FnController idle([](const SimView&) { return ResourcePlan{}; });
+  ServingConfig cfg;
+  cfg.spec = gpusim::test_gpu();
+  cfg.duration = 5 * kNsPerMs;
+  auto sim = ServingSimBuilder()
+                 .config(cfg)
+                 .tenants({best_effort_tenant(tiny_be_model("tiny-x", 'X'))})
+                 .build(queue, idle);
+  sim->begin();
+  queue.schedule_at(1 * kNsPerMs, [] {});
+  queue.run_until(cfg.duration);
+  EXPECT_EQ(sim->now(), queue.now());
+  const auto m = sim->finish();
+  EXPECT_EQ(m.tenants.size(), 1u);
+}
+
+TEST(BuilderApi, ConfigSeedsEveryField) {
+  ServingConfig cfg;
+  cfg.spec = gpusim::test_gpu();
+  cfg.duration = 7 * kNsPerMs;
+  cfg.ls_instances = 2;
+  cfg.slo_multiplier = 3.5;
+  cfg.be_mode = BeMode::kConcurrent;
+  cfg.seed = 0xabc;
+  FnController idle([](const SimView&) { return ResourcePlan{}; });
+  auto sim = ServingSimBuilder()
+                 .config(cfg)
+                 .tenants({best_effort_tenant(tiny_be_model("tiny-x", 'X'))})
+                 .build(idle);
+  EXPECT_EQ(sim->config().duration, cfg.duration);
+  EXPECT_EQ(sim->config().ls_instances, cfg.ls_instances);
+  EXPECT_EQ(sim->config().slo_multiplier, cfg.slo_multiplier);
+  EXPECT_EQ(sim->config().seed, cfg.seed);
+}
+
+}  // namespace
+}  // namespace sgdrc::core

@@ -41,7 +41,7 @@ const Zoo& zoo() {
 }
 
 PolicyFactory sgdrc_factory() {
-  return [](const gpusim::GpuSpec& spec) -> std::unique_ptr<core::Policy> {
+  return [](const gpusim::GpuSpec& spec) -> std::unique_ptr<control::Controller> {
     return std::make_unique<core::SgdrcPolicy>(spec);
   };
 }
@@ -411,6 +411,65 @@ TEST(Fleet, AddFleetTenantReusesThePlacementPolicy) {
   const auto m = fleet.finish();
   EXPECT_EQ(m.tenants[1].arrived, 1u);
   EXPECT_EQ(m.tenants[1].served, 1u);
+}
+
+// -------------------------------------------------- vGPU quota layer ----
+
+TEST(Placement, QuotaAwareBinPacksGuaranteedTpcs) {
+  const auto& z = zoo();  // 4-TPC test GPU
+  using core::latency_sensitive_tenant;
+  std::vector<FleetTenantSpec> tenants{
+      replicated(latency_sensitive_tenant(z.ls_a, z.iso_a, 0,
+                                          {.guaranteed_tpcs = 3}),
+                 1),
+      replicated(latency_sensitive_tenant(z.ls_b, z.iso_b, 0,
+                                          {.guaranteed_tpcs = 2}),
+                 1),
+      replicated(core::with_vgpu(best_effort_tenant(z.be_i),
+                                 {.guaranteed_tpcs = 2}),
+                 1),
+      replicated(best_effort_tenant(z.be_i), 2),
+  };
+  QuotaAwarePlacement quota(z.spec.num_tpcs);
+  const auto a = quota.place(tenants, 2);
+  validate_assignment(a, tenants, 2);
+  // FFD over {3, 2, 2} into 4-TPC bins: the 3 sits alone, the two 2s
+  // pack together — no bin's reservations overcommit its SMs.
+  EXPECT_NE(a[0][0], a[1][0]);
+  EXPECT_EQ(a[1][0], a[2][0]);
+  // Every replica set is constructible: the device sims accept the
+  // resulting per-device guarantee budgets.
+  FleetConfig cfg = small_fleet(2, 5 * kNsPerMs);
+  RoundRobinRouter rr;
+  FleetSim fleet(cfg, tenants, quota, rr, sgdrc_factory());
+  fleet.begin();
+  fleet.run_until(cfg.duration);
+  EXPECT_EQ(fleet.finish().guarantee_violations(), 0u);
+}
+
+TEST(FleetVgpu, SetFleetVgpuReachesEveryReplicaAndFutureOnes) {
+  const auto& z = zoo();
+  FleetConfig cfg = small_fleet(2, 50 * kNsPerMs);
+  std::vector<FleetTenantSpec> tenants{
+      replicated(latency_sensitive_tenant(z.ls_a, z.iso_a), 2),
+      replicated(best_effort_tenant(z.be_i), 2),
+  };
+  SpreadPlacement spread;
+  RoundRobinRouter rr;
+  FleetSim fleet(cfg, tenants, spread, rr, sgdrc_factory());
+  fleet.begin();
+  fleet.at(10 * kNsPerMs,
+           [&] { fleet.set_fleet_vgpu(0, {.guaranteed_tpcs = 2}); });
+  fleet.run_until(20 * kNsPerMs);
+  for (const Replica& r : fleet.replicas_of(0)) {
+    EXPECT_EQ(gpusim::tpc_count(
+                  fleet.device(r.device).guaranteed_mask(r.local_tenant)),
+              2u);
+  }
+  EXPECT_EQ(fleet.fleet_tenant(0).spec.vgpu.guaranteed_tpcs, 2u);
+  fleet.run_until(cfg.duration);
+  // SGDRC's plan-emitting controller honours the regions everywhere.
+  EXPECT_EQ(fleet.finish().guarantee_violations(), 0u);
 }
 
 }  // namespace

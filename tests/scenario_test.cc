@@ -42,7 +42,7 @@ const Zoo& zoo() {
 }
 
 fleet::PolicyFactory sgdrc_factory() {
-  return [](const gpusim::GpuSpec& spec) -> std::unique_ptr<core::Policy> {
+  return [](const gpusim::GpuSpec& spec) -> std::unique_ptr<control::Controller> {
     return std::make_unique<core::SgdrcPolicy>(spec);
   };
 }
@@ -368,6 +368,34 @@ TEST(ScenarioCatalog, ShipsTheSixStockScenarios) {
     EXPECT_EQ(sc.duration(), opt.duration);
     EXPECT_FALSE(sc.description().empty());
   }
+}
+
+TEST(ScenarioRun, ScriptedQuotaChangeIsAppliedAndRespected) {
+  // set_quota grants tenant 0 a hard 2-TPC reservation mid-run; the
+  // fleet propagates it to every replica and the plan-emitting SGDRC
+  // controller never violates the carved regions.
+  const TimeNs d = 200 * kNsPerMs;
+  Scenario sc("quota-grant", "tenant 0 gains a hard TPC quota mid-run", d);
+  sc.devices(2).set_quota(d / 4, 0, {.guaranteed_tpcs = 2});
+  ASSERT_EQ(sc.quota_changes().size(), 1u);
+  EXPECT_EQ(sc.quota_changes()[0].tenant, 0u);
+  fleet::QosAwarePlacement placement;
+  fleet::LeastOutstandingRouter router;
+  const auto out = run_scenario(sc, fleet_mix(), engine_config(), placement,
+                                router, sgdrc_factory());
+  EXPECT_GT(out.metrics.tenants[0].served, 0u);
+  EXPECT_EQ(out.metrics.guarantee_violations(), 0u);
+}
+
+TEST(ScenarioRun, QuotaChangeForUnknownTenantIsRejectedUpFront) {
+  const TimeNs d = 100 * kNsPerMs;
+  Scenario sc("bad-quota", "", d);
+  sc.devices(2).set_quota(d / 2, 99, {.guaranteed_tpcs = 1});
+  fleet::QosAwarePlacement placement;
+  fleet::LeastOutstandingRouter router;
+  EXPECT_THROW(run_scenario(sc, fleet_mix(), engine_config(), placement,
+                            router, sgdrc_factory()),
+               ConfigError);
 }
 
 }  // namespace

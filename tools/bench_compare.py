@@ -8,6 +8,8 @@ bench/baselines/ and fails (exit 1) when
     (default 15%), or
   * any best-effort throughput metric drops by more than --be-tolerance
     (default 10%), or
+  * a boolean pass/fail metric (e.g. vgpu_isolation's quota-isolation
+    `slo_ok`) flips from true in the baseline to false now, or
   * a (scenario, system) combination present in the baseline disappears
     from the current output (shrinking coverage would silently shrink
     the gate).
@@ -21,6 +23,7 @@ baselines when you want the gate to hold the new line:
     ./fleet_scaling    --quick --json bench/baselines/BENCH_fleet.json
     ./fig17_end_to_end --quick --json bench/baselines/BENCH_fig17.json
     ./scenario_sweep   --quick --json bench/baselines/BENCH_scenarios.json
+    ./vgpu_isolation   --quick --json bench/baselines/BENCH_vgpu.json
 
 Override: label the PR `perf-gate-override` (documented in README) to
 skip the gate on the PR run for intentional regressions. The label
@@ -72,10 +75,23 @@ def records_scenarios(doc):
             }
 
 
+def records_vgpu(doc):
+    """vgpu_isolation: one record per (flood size, system). The `ok`
+    boolean is the quota-isolation property itself (LS p99 within SLO);
+    losing it is a regression regardless of magnitude."""
+    for cell in doc.get("cells", []):
+        yield ("vgpu", cell["be_tenants"], cell["system"]), {
+            "p99_ms": cell.get("p99_ms"),
+            "be": cell.get("be_samples_per_s"),
+            "ok": cell.get("slo_ok") if cell.get("quota") else None,
+        }
+
+
 EXTRACTORS = {
     "fleet_scaling": records_fleet,
     "fig17_end_to_end": records_fig17,
     "scenario_sweep": records_scenarios,
+    "vgpu_isolation": records_vgpu,
 }
 
 
@@ -111,6 +127,11 @@ def compare(name, base, cur, p99_tol, be_tol):
                     f"{name}: {keystr(key)}: p99 {c99:.3f} ms vs baseline "
                     f"{b99:.3f} ms (+{100.0 * (c99 / b99 - 1.0):.1f}%, "
                     f"limit +{100.0 * p99_tol:.0f}%)")
+        bok, cok = bm.get("ok"), cm.get("ok")
+        if bok is True and cok is False:
+            failures.append(
+                f"{name}: {keystr(key)}: pass/fail metric was true in the "
+                "baseline but is false now (quota isolation regressed)")
         bbe, cbe = bm.get("be"), cm.get("be")
         if bbe is not None and cbe is not None and bbe > ABS_BE_FLOOR:
             limit = bbe * (1.0 - be_tol)

@@ -106,8 +106,8 @@ void register_cdf(const GpuSpec& spec) {
     }
   }
   std::printf("  %s: %.1f%% zero extra, %.1f%% fewer than 5, max %.0f\n",
-              spec.name.c_str(), 100.0 * regs.fraction_at_most(0.0),
-              100.0 * regs.fraction_at_most(4.0), regs.max());
+              spec.name.c_str(), 100.0 * regs.fraction_at_most(0.0).value(),
+              100.0 * regs.fraction_at_most(4.0).value(), regs.max());
 }
 
 }  // namespace

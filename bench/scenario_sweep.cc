@@ -162,11 +162,6 @@ int main(int argc, char** argv) {
   ecfg.dispatch_jitter = 3 * kNsPerUs;
   ecfg.burstiness = ho.burstiness;
 
-  std::printf("scenario sweep on %u-GPU %s fleets: %zu LS + %zu BE "
-              "tenants, %zu scenarios x %zu systems, %.0f ms each\n",
-              devices, ho.spec.name.c_str(), h.ls_count(), h.be_count(),
-              static_cast<size_t>(6), std::size(kSystems), to_ms(duration));
-
   // One catalog per SPT variant: churn/surge arrivals carry the model
   // flavour the system under test runs everywhere else.
   auto catalog_for = [&](bool spt) {
@@ -193,6 +188,11 @@ int main(int argc, char** argv) {
   };
   const auto catalog_spt = catalog_for(true);
   const auto catalog_plain = catalog_for(false);
+
+  std::printf("scenario sweep on %u-GPU %s fleets: %zu LS + %zu BE "
+              "tenants, %zu scenarios x %zu systems, %.0f ms each\n",
+              devices, ho.spec.name.c_str(), h.ls_count(), h.be_count(),
+              catalog_spt.size(), std::size(kSystems), to_ms(duration));
 
   std::vector<SweepRun> runs(catalog_spt.size() * std::size(kSystems));
   ThreadPool pool(8);

@@ -18,6 +18,7 @@
 //   ./vgpu_isolation [--quick] [--json BENCH_vgpu.json] [--seed N]
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -102,7 +103,13 @@ void emit_json(const std::string& path, const std::vector<CellResult>& all,
     j.kv("quota", r.cell.quota);
     j.kv("p99_ms", ls.p99_ms());
     j.kv("slo_ms", to_ms(r.slo));
-    j.kv("slo_ok", ls.p99_ms() <= to_ms(r.slo));
+    // A tenant with zero served requests has no p99 — its slo_ok is
+    // null (no data), never a vacuous true the gate would wave through.
+    if (ls.has_latency_data()) {
+      j.kv("slo_ok", ls.p99_ms() <= to_ms(r.slo));
+    } else {
+      j.kv("slo_ok", std::numeric_limits<double>::quiet_NaN());
+    }
     j.kv("attainment", ls.attainment());
     j.kv("be_samples_per_s", r.metrics.be_throughput());
     j.kv("guarantee_violations", r.metrics.guarantee_violations);
@@ -158,7 +165,7 @@ int main(int argc, char** argv) {
   unsigned quota_slo_ok = 0, quota_cells = 0;
   for (const auto& r : results) {
     const auto& ls = r.metrics.tenants[0];
-    const bool ok = ls.p99_ms() <= to_ms(r.slo);
+    const bool ok = ls.has_latency_data() && ls.p99_ms() <= to_ms(r.slo);
     if (r.cell.quota) {
       ++quota_cells;
       quota_slo_ok += ok;

@@ -1,0 +1,92 @@
+// Dynamic request batching end-to-end: a latency-sensitive service
+// (MobileNetV3, bursty Apollo-like arrivals) runs three ways beside two
+// concurrent best-effort batch tenants —
+//
+//   1. unbatched               — every request is its own kernel launch;
+//   2. batched, plain SGDRC    — requests assemble into batches of up to
+//                                8 (1.5 ms assembly window), the stock
+//                                tidal controller schedules them;
+//   3. batched, batch-aware    — same workload, but the controller
+//                                watches batch occupancy and holds the
+//                                SM reservation wide enough for the
+//                                batches it is actually seeing.
+//
+// Watch three numbers move: best-effort samples/s rises when batching
+// amortises the LS service's launch overhead and weight traffic, the LS
+// p99 *improves* under bursts (the queue drains in batches instead of
+// one kernel at a time), and the batch-aware controller trims the tail
+// the plain tide leaves on freshly assembled wide batches.
+//
+//   ./batched_serving
+#include <cstdio>
+
+#include "control/batch_aware.h"
+#include "core/harness.h"
+#include "core/sgdrc_policy.h"
+
+using namespace sgdrc;
+using namespace sgdrc::core;
+
+namespace {
+
+void report(const char* title, const workload::ServingMetrics& m) {
+  const auto& ls = m.tenants[0];
+  double occupancy = 1.0;
+  if (!ls.batch_sizes.empty()) occupancy = ls.batch_sizes.mean();
+  std::printf("%-28s p99 %6.2f ms  att %6.1f%%  occupancy %4.2f  "
+              "BE %6.1f samples/s\n",
+              title, ls.p99_ms(), 100.0 * ls.attainment(), occupancy,
+              m.be_throughput());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Dynamic request batching: one LS service + 2 concurrent BE tenants "
+      "on an RTX A2000\n\n");
+
+  HarnessOptions o;
+  o.spec = gpusim::rtx_a2000();
+  o.ls_letters = "A";
+  o.be_letters = "IJ";
+  o.utilization = 0.45;
+  o.burstiness = 0.5;  // frame-aligned bursts: what batching eats
+  o.duration = 1 * kNsPerSec;
+  o.seed = 0xbea7;
+  const ServingHarness h(o);
+
+  const auto run = [&](bool batch, control::Controller& controller) {
+    ServingSimBuilder b;
+    b.gpu(o.spec)
+        .duration(o.duration)
+        .slo_multiplier(11.0)
+        .best_effort_mode(BeMode::kConcurrent)
+        .seed(o.seed);
+    b.add_latency_sensitive(h.ls_model_spt(0), h.isolated_latency(0));
+    if (batch) b.batching(workload::batch_up_to(8, 1500 * kNsPerUs));
+    for (size_t i = 0; i < h.be_count(); ++i) {
+      b.add_best_effort(h.be_model_spt(i));
+    }
+    return b.build(controller)->run(h.trace());
+  };
+
+  SgdrcPolicy unbatched(o.spec);
+  SgdrcPolicy plain(o.spec);
+  control::BatchAwareSgdrc aware(o.spec);
+
+  const auto m_unbatched = run(false, unbatched);
+  const auto m_plain = run(true, plain);
+  const auto m_aware = run(true, aware);
+
+  report("unbatched SGDRC", m_unbatched);
+  report("batched, plain SGDRC", m_plain);
+  report("batched, batch-aware SGDRC", m_aware);
+
+  std::printf(
+      "\nBatching frees GPU time (BE %+.0f%% vs unbatched) and drains "
+      "bursts whole,\nso the LS tail improves too; the occupancy feedback "
+      "loop keeps the tide\nsized for the batches actually running.\n",
+      100.0 * (m_aware.be_throughput() / m_unbatched.be_throughput() - 1.0));
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "baselines/registry.h"
 
 #include "baselines/baseline_policies.h"
+#include "control/batch_aware.h"
 #include "core/sgdrc_policy.h"
 
 namespace sgdrc::baselines {
@@ -38,6 +39,13 @@ std::vector<SystemSpec> build_registry() {
                }});
   r.push_back({"Temporal (TGS-like)", false, false,
                adapted<TemporalPolicy>()});
+  // SGDRC wrapped with the batch-occupancy feedback loop; identical to
+  // plain SGDRC when no tenant batches (floor stays 0).
+  r.push_back({"SGDRC (Batch-aware)", true, false,
+               [](const gpusim::GpuSpec& gs)
+                   -> std::unique_ptr<control::Controller> {
+                 return std::make_unique<control::BatchAwareSgdrc>(gs);
+               }});
   return r;
 }
 

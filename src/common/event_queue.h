@@ -3,6 +3,15 @@
 //
 // Events at the same timestamp fire in insertion order (a stable tiebreak
 // keeps simulations deterministic across library/compiler versions).
+//
+// Bookkeeping is a fixed pool of generation-tagged slots: an EventId is
+// (generation << 32 | slot), a slot returns to the free list the moment
+// its event fires or is cancelled, and a stale id simply fails the
+// generation check. Memory is therefore bounded by the *peak* number of
+// concurrently pending events, not by the total ever scheduled — a
+// multi-hour run schedules hundreds of millions of events and must not
+// grow a tombstone per event. cancel() stays O(1): the heap entry is
+// left in place and skipped as a tombstone when it surfaces.
 #pragma once
 
 #include <algorithm>
@@ -18,6 +27,9 @@
 namespace sgdrc {
 
 /// Handle that identifies a scheduled event so it can be cancelled.
+/// Layout: generation in the high 32 bits, slot index in the low 32 —
+/// ids are unique for the queue's lifetime but NOT monotone (slots are
+/// reused); ordering guarantees come from an internal sequence number.
 using EventId = uint64_t;
 
 class EventQueue {
@@ -26,9 +38,18 @@ class EventQueue {
   /// `when` must not be in the past relative to now().
   EventId schedule_at(TimeNs when, std::function<void()> fn) {
     SGDRC_CHECK(when >= now_, "scheduling an event in the past");
-    const EventId id = next_id_++;
-    state_.push_back(State::kPending);
-    heap_.push(Entry{when, id, std::move(fn)});
+    uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<uint32_t>(slots_.size());
+      slots_.push_back({0, false});
+    }
+    slots_[slot].pending = true;
+    const EventId id =
+        (static_cast<uint64_t>(slots_[slot].generation) << 32) | slot;
+    heap_.push(Entry{when, seq_++, id, std::move(fn)});
     ++live_;
     return id;
   }
@@ -39,10 +60,12 @@ class EventQueue {
   }
 
   /// Cancel a pending event. Cancelling an already-fired, already-cancelled
-  /// or unknown id is a no-op (returns false). O(1) via tombstones.
+  /// or unknown id is a no-op (returns false). O(1) via tombstones: the
+  /// slot is recycled now; the heap entry fails the generation check when
+  /// it surfaces and is dropped.
   bool cancel(EventId id) {
-    if (id >= state_.size() || state_[id] != State::kPending) return false;
-    state_[id] = State::kCancelled;
+    if (!is_pending(id)) return false;
+    retire(static_cast<uint32_t>(id));
     --live_;
     return true;
   }
@@ -52,6 +75,10 @@ class EventQueue {
 
   /// Number of live pending events.
   size_t pending() const { return live_; }
+
+  /// Bookkeeping slots allocated (peak concurrent pending events over the
+  /// queue's lifetime) — observability for the memory-boundedness tests.
+  size_t slot_count() const { return slots_.size(); }
 
   TimeNs now() const { return now_; }
 
@@ -66,14 +93,14 @@ class EventQueue {
   /// when the queue is empty.
   bool run_next() {
     while (!heap_.empty()) {
-      if (state_[heap_.top().id] == State::kCancelled) {
+      if (!is_pending(heap_.top().id)) {  // cancelled tombstone
         heap_.pop();
         continue;
       }
       Entry e = std::move(const_cast<Entry&>(heap_.top()));
       heap_.pop();
       now_ = e.when;
-      state_[e.id] = State::kFired;
+      retire(static_cast<uint32_t>(e.id));
       --live_;
       e.fn();
       return true;
@@ -86,7 +113,7 @@ class EventQueue {
   size_t run_until(TimeNs until) {
     size_t fired = 0;
     while (!heap_.empty()) {
-      if (state_[heap_.top().id] == State::kCancelled) {
+      if (!is_pending(heap_.top().id)) {  // cancelled tombstone
         heap_.pop();
         continue;
       }
@@ -94,7 +121,7 @@ class EventQueue {
       Entry e = std::move(const_cast<Entry&>(heap_.top()));
       heap_.pop();
       now_ = e.when;
-      state_[e.id] = State::kFired;
+      retire(static_cast<uint32_t>(e.id));
       --live_;
       e.fn();
       ++fired;
@@ -111,22 +138,40 @@ class EventQueue {
   }
 
  private:
-  enum class State : uint8_t { kPending, kFired, kCancelled };
+  struct Slot {
+    uint32_t generation = 0;
+    bool pending = false;
+  };
 
   struct Entry {
     TimeNs when;
+    uint64_t seq;  // monotone issue order: stable FIFO within a timestamp
     EventId id;
     std::function<void()> fn;
     bool operator>(const Entry& o) const {
       if (when != o.when) return when > o.when;
-      return id > o.id;  // stable FIFO within a timestamp
+      return seq > o.seq;
     }
   };
 
+  bool is_pending(EventId id) const {
+    const uint32_t slot = static_cast<uint32_t>(id);
+    return slot < slots_.size() && slots_[slot].pending &&
+           slots_[slot].generation == static_cast<uint32_t>(id >> 32);
+  }
+
+  /// Free a slot for reuse; the bumped generation invalidates stale ids.
+  void retire(uint32_t slot) {
+    slots_[slot].pending = false;
+    ++slots_[slot].generation;
+    free_.push_back(slot);
+  }
+
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::vector<State> state_;
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_;
   TimeNs now_ = 0;
-  EventId next_id_ = 0;
+  uint64_t seq_ = 0;
   size_t live_ = 0;
 };
 

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <utility>
 #include <vector>
 
@@ -87,8 +88,11 @@ class Samples {
   }
 
   /// Fraction of samples with value <= threshold (e.g. SLO attainment).
-  double fraction_at_most(double threshold) const {
-    if (data_.empty()) return 1.0;
+  /// An empty sample set has no fraction — returning 1.0 here used to let
+  /// a tenant that served zero requests report 100% SLO attainment and
+  /// vacuously pass downstream pass/fail gates, so no-data is explicit.
+  std::optional<double> fraction_at_most(double threshold) const {
+    if (data_.empty()) return std::nullopt;
     ensure_sorted();
     const auto it =
         std::upper_bound(data_.begin(), data_.end(), threshold);

@@ -79,6 +79,19 @@ class SimView {
     return sim_->guaranteed_union(q);
   }
 
+  // ---- dynamic request batching (core/serving.h batching read API) ----
+  bool batching_enabled(workload::TenantId t) const {
+    return sim_->batching_enabled(t);
+  }
+  /// Requests waiting ahead of the GPU (assembly + closed batches).
+  size_t batch_queue_depth(workload::TenantId t) const {
+    return sim_->batch_queue_depth(t);
+  }
+  /// Mean requests per launched batch so far (0 before the first).
+  double batch_occupancy(workload::TenantId t) const {
+    return sim_->batch_occupancy(t);
+  }
+
   /// Escape hatch for LegacyPolicyAdapter only: run an imperative
   /// core::Policy against the live sim, tracing its launch/evict/poke
   /// calls into a pre-applied ResourcePlan. Native controllers must not

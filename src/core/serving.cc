@@ -1,8 +1,10 @@
 #include "core/serving.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "control/controller.h"
+#include "models/batching.h"
 
 namespace sgdrc::core {
 
@@ -90,6 +92,21 @@ void ServingSim::register_tenant(TenantId t) {
   instances_.push_back(0);
   free_instances_.push_back(0);
   backlog_.emplace_back();
+  if (spec.batching.enabled()) {
+    SGDRC_REQUIRE(spec.qos == QosClass::kLatencySensitive,
+                  "BatchPolicy applies to LS tenants (BE tasks already "
+                  "batch through ModelDesc::batch)");
+    SGDRC_REQUIRE(spec.batching.max_batch <= 64,
+                  "max_batch above 64 is outside the latency model's range");
+    auto bs = std::make_unique<BatchState>();
+    bs->variants.reserve(spec.batching.max_batch);
+    for (unsigned b = 1; b <= spec.batching.max_batch; ++b) {
+      bs->variants.push_back(models::batched_variant(spec.model, b));
+    }
+    batch_.push_back(std::move(bs));
+  } else {
+    batch_.push_back(nullptr);
+  }
   active_.push_back(1);
   guaranteed_mask_.push_back(0);
   assign_guarantee_region(t);
@@ -239,6 +256,11 @@ void ServingSim::remove_tenant(TenantId t) {
   // (see the header contract — inject() itself still admits stragglers
   // that were routed before the removal), and jobs stay visible until
   // the backlog empties.
+  if (batch_[t]) {
+    // A half-assembled batch must not wait out a timer that may never
+    // matter again: launch it now (partial) so the drain completes.
+    close_batch(t);
+  }
   poke();
 }
 
@@ -289,8 +311,105 @@ void ServingSim::inject(TenantId t, TimeNs arrival) {
   // the drain.
   SGDRC_REQUIRE(arrival <= now(), "injected request arrives in the future");
   ++metrics_.tenants[t].arrived;
-  admit_or_backlog(t, arrival);
+  if (batch_[t]) {
+    enqueue_for_batch(t, arrival);
+  } else {
+    admit_or_backlog(t, arrival);
+  }
   poke();
+}
+
+// --------------------------------------------------- dynamic batching ----
+
+void ServingSim::enqueue_for_batch(TenantId t, TimeNs arrival) {
+  auto& bs = *batch_[t];
+  const auto& policy = tenants_[t].batching;
+  bs.assembly.push_back(arrival);
+  if (!active_[t]) {
+    // A straggler routed before the tenant's removal (fleet dispatch
+    // hop): no companions are coming, so launching alone beats waiting
+    // out the assembly timer and stretching the drain.
+    close_batch(t);
+    return;
+  }
+  if (bs.assembly.size() >= policy.max_batch ||
+      policy.assembly_timeout == 0) {
+    // Full (or a zero-timeout policy that never waits): launch now.
+    close_batch(t);
+  } else if (!bs.timer_armed) {
+    // First request of a fresh assembly: give it `assembly_timeout` to
+    // attract companions, then launch whatever gathered.
+    bs.timer = queue_.schedule_after(policy.assembly_timeout, [this, t] {
+      batch_[t]->timer_armed = false;
+      close_batch(t);
+      poke();
+    });
+    bs.timer_armed = true;
+  }
+}
+
+void ServingSim::close_batch(TenantId t) {
+  auto& bs = *batch_[t];
+  if (bs.timer_armed) {
+    queue_.cancel(bs.timer);
+    bs.timer_armed = false;
+  }
+  if (bs.assembly.empty()) return;
+  std::vector<TimeNs> arrivals = std::move(bs.assembly);
+  bs.assembly.clear();
+  if (free_instances_[t] > 0) {
+    --free_instances_[t];
+    admit_batch(t, std::move(arrivals));
+  } else {
+    bs.ready_requests += arrivals.size();
+    bs.ready.push_back(std::move(arrivals));
+  }
+}
+
+void ServingSim::admit_batch(TenantId t, std::vector<TimeNs> arrivals) {
+  auto& bs = *batch_[t];
+  const size_t size = arrivals.size();
+  SGDRC_CHECK(size >= 1 && size <= bs.variants.size(),
+              "batch size outside the tenant's variant range");
+  Job job;
+  job.id = next_job_++;
+  job.tenant = t;
+  job.arrival = arrivals.front();
+  job.model = &bs.variants[size - 1];
+  job.batch = std::move(arrivals);
+  bs.admitted_requests += size;
+  ++bs.launched_batches;
+  bs.launched_requests += size;
+  bs.recent.push_back(static_cast<unsigned>(size));
+  if (bs.recent.size() > kOccupancyWindow) bs.recent.pop_front();
+  if (!stopped_) {
+    metrics_.tenants[t].batch_sizes.add(static_cast<double>(size));
+  }
+  jobs_.push_back(std::move(job));
+}
+
+void ServingSim::complete_ls_batch(TenantId t,
+                                   const std::vector<TimeNs>& arrivals) {
+  auto& bs = *batch_[t];
+  // Every request in the batch gets its own latency sample — completion
+  // minus its OWN arrival, so assembly/queueing wait counts against the
+  // SLO request by request.
+  for (const TimeNs arrival : arrivals) {
+    if (!stopped_) metrics_.record_latency(t, arrival, now());
+  }
+  SGDRC_CHECK(bs.admitted_requests >= arrivals.size(),
+              "batch completion underflows admitted-request count");
+  bs.admitted_requests -= arrivals.size();
+  // Hand the instance to the next closed batch (never re-cut: batches
+  // are sized at close time, by the policy, not by instance pressure).
+  if (!bs.ready.empty()) {
+    std::vector<TimeNs> next = std::move(bs.ready.front());
+    bs.ready.pop_front();
+    bs.ready_requests -= next.size();
+    admit_batch(t, std::move(next));
+  } else {
+    ++free_instances_[t];
+  }
 }
 
 void ServingSim::admit_or_backlog(TenantId t, TimeNs arrival) {
@@ -320,7 +439,7 @@ bool ServingSim::visible(const Job& j) const {
 }
 
 ServingSim::JobView ServingSim::view_of(const Job& j) const {
-  const auto& kernels = tenants_[j.tenant].model.kernels;
+  const auto& kernels = model_of(j).kernels;
   return {j.id,
           j.tenant,
           qos_of(j),
@@ -372,7 +491,7 @@ std::vector<const gpusim::KernelDesc*> ServingSim::upcoming_kernels(
   for (const auto& j : jobs_) {
     if (out.size() >= window) break;
     if (qos_of(j) == qos && visible(j) && !j.in_flight) {
-      out.push_back(&tenants_[j.tenant].model.kernels[j.cursor]);
+      out.push_back(&model_of(j).kernels[j.cursor]);
     }
   }
   return out;
@@ -500,7 +619,7 @@ void ServingSim::launch(JobId id, LaunchSpec spec) {
   SGDRC_REQUIRE(job != nullptr, "unknown job");
   SGDRC_REQUIRE(visible(*job), "job is not resident (BE rotation)");
   SGDRC_REQUIRE(!job->in_flight, "job already has a kernel in flight");
-  const auto& model = tenants_[job->tenant].model;
+  const auto& model = model_of(*job);
   const gpusim::KernelDesc& k = model.kernels[job->cursor];
   // Guarantee bookkeeping: kernels landing inside a *different* tenant's
   // reserved region are violations. Plan-enforced launches were already
@@ -542,17 +661,23 @@ void ServingSim::finish_kernel(JobId id) {
   if (qos == QosClass::kBestEffort) {
     auto& m = metrics_.tenants[job.tenant];
     if (!stopped_) ++m.kernels_done;
-    if (job.cursor >= tenants_[job.tenant].model.kernels.size()) {
+    if (job.cursor >= model_of(job).kernels.size()) {
       if (!stopped_) ++m.batches_completed;
       rotate_be(job);
     }
-  } else if (job.cursor >= tenants_[job.tenant].model.kernels.size()) {
+  } else if (job.cursor >= model_of(job).kernels.size()) {
     const TenantId tenant = job.tenant;
-    const TimeNs arrival = job.arrival;
     // Erase before re-admitting: admit() push_backs into the deque,
     // which would invalidate `it`.
-    jobs_.erase(it);
-    complete_ls_job(tenant, arrival);
+    if (!job.batch.empty()) {
+      const std::vector<TimeNs> arrivals = std::move(job.batch);
+      jobs_.erase(it);
+      complete_ls_batch(tenant, arrivals);
+    } else {
+      const TimeNs arrival = job.arrival;
+      jobs_.erase(it);
+      complete_ls_job(tenant, arrival);
+    }
   }
   poke();
 }

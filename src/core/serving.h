@@ -69,6 +69,10 @@ struct TenantSpec {
   /// vGPU guarantees (§4): hard TPC reservation, channel share, weight,
   /// priority. Default: no guarantees (pure tidal sharing).
   control::VgpuSpec vgpu;
+  /// LS only: dynamic request batching (assembly queue + batched jobs).
+  /// Default OFF — each request is its own job, bit-for-bit the historic
+  /// behaviour.
+  workload::BatchPolicy batching;
 };
 
 inline TenantSpec latency_sensitive_tenant(models::ModelDesc model,
@@ -76,15 +80,21 @@ inline TenantSpec latency_sensitive_tenant(models::ModelDesc model,
                                            unsigned instances = 0,
                                            control::VgpuSpec vgpu = {}) {
   return {QosClass::kLatencySensitive, std::move(model), isolated_latency,
-          instances, vgpu};
+          instances, vgpu, {}};
 }
 inline TenantSpec best_effort_tenant(models::ModelDesc model,
                                      control::VgpuSpec vgpu = {}) {
-  return {QosClass::kBestEffort, std::move(model), 0, 0, vgpu};
+  return {QosClass::kBestEffort, std::move(model), 0, 0, vgpu, {}};
 }
 /// Attach a vGPU guarantee to an existing tenant declaration.
 inline TenantSpec with_vgpu(TenantSpec spec, control::VgpuSpec vgpu) {
   spec.vgpu = vgpu;
+  return spec;
+}
+/// Attach a request-batching policy to an existing tenant declaration.
+inline TenantSpec with_batching(TenantSpec spec,
+                                workload::BatchPolicy batching) {
+  spec.batching = batching;
   return spec;
 }
 
@@ -224,9 +234,39 @@ class ServingSim {
   /// Instance-pool size of an LS tenant (0 for BE tenants).
   unsigned instances_of(TenantId t) const { return instances_.at(t); }
   /// Requests in the system for an LS tenant: admitted (holding an
-  /// instance) plus backlogged. Routers balance replicas on this.
+  /// instance) plus backlogged — counted in *requests*, so a batching
+  /// tenant's assembly queue and closed-but-waiting batches are visible
+  /// to routers, not hidden behind a single instance slot.
   size_t outstanding(TenantId t) const {
+    if (batch_.at(t)) {
+      const auto& bs = *batch_[t];
+      return bs.admitted_requests + bs.ready_requests + bs.assembly.size();
+    }
     return (instances_.at(t) - free_instances_.at(t)) + backlog_.at(t).size();
+  }
+
+  // ------------------------------------------------ batching read API ----
+  /// True when the tenant runs under a BatchPolicy with max_batch > 1.
+  bool batching_enabled(TenantId t) const { return batch_.at(t) != nullptr; }
+  /// Requests queued ahead of the GPU: the assembly queue plus closed
+  /// batches waiting for a free instance (0 for non-batching tenants).
+  /// Routers and the batch-aware controller read this.
+  size_t batch_queue_depth(TenantId t) const {
+    if (!batch_.at(t)) return 0;
+    return batch_[t]->assembly.size() + batch_[t]->ready_requests;
+  }
+  /// Observed batch occupancy: mean requests per batch over the most
+  /// recently launched batches (a sliding window, so the signal follows
+  /// the workload — a surge of full batches raises it, a return to
+  /// singleton traffic decays it; 0 before the first batch launches).
+  /// The batch-aware controller widens and narrows the tenant's
+  /// allocation from this.
+  double batch_occupancy(TenantId t) const {
+    if (!batch_.at(t) || batch_[t]->recent.empty()) return 0.0;
+    size_t sum = 0;
+    for (const unsigned s : batch_[t]->recent) sum += s;
+    return static_cast<double>(sum) /
+           static_cast<double>(batch_[t]->recent.size());
   }
   /// This sim's private deterministic RNG stream (device-salted in
   /// fleets); policies and outer simulations draw jitter from it.
@@ -281,14 +321,45 @@ class ServingSim {
   struct Job {
     JobId id = 0;
     TenantId tenant = 0;
-    TimeNs arrival = 0;
+    TimeNs arrival = 0;  // batched jobs: the oldest request's arrival
     size_t cursor = 0;
     bool in_flight = false;
     bool evicting = false;
     gpusim::GpuExecutor::LaunchId launch_id = 0;
+    /// Batched jobs run a batch-size-scaled kernel sequence (owned by the
+    /// tenant's BatchState; stable storage). Null = the tenant spec model.
+    const models::ModelDesc* model = nullptr;
+    /// Arrival time of every request in the batch (empty for ordinary
+    /// single-request jobs); each gets its own latency sample.
+    std::vector<TimeNs> batch;
   };
 
+  /// Per-tenant dynamic-batching state (only LS tenants with an enabled
+  /// BatchPolicy carry one).
+  struct BatchState {
+    /// variants[b-1] = the batch-size-b model; built once at tenant
+    /// registration so kernel-descriptor pointers stay stable.
+    std::vector<models::ModelDesc> variants;
+    std::vector<TimeNs> assembly;           // arrivals being assembled
+    std::deque<std::vector<TimeNs>> ready;  // closed, awaiting an instance
+    size_t ready_requests = 0;              // Σ sizes over `ready`
+    size_t admitted_requests = 0;           // requests inside live jobs
+    EventId timer = 0;                      // assembly-timeout event
+    bool timer_armed = false;
+    uint64_t launched_batches = 0;
+    uint64_t launched_requests = 0;
+    /// Sizes of the most recent launches (sliding occupancy window).
+    std::deque<unsigned> recent;
+  };
+  /// Occupancy window length: long enough to smooth burst-to-burst
+  /// noise, short enough that a surge's full batches age out within a
+  /// few frames of singleton traffic.
+  static constexpr size_t kOccupancyWindow = 16;
+
   QosClass qos_of(const Job& j) const { return tenants_[j.tenant].qos; }
+  const models::ModelDesc& model_of(const Job& j) const {
+    return j.model ? *j.model : tenants_[j.tenant].model;
+  }
   bool visible(const Job& j) const;
   JobView view_of(const Job& j) const;
   Job* job_ptr(JobId id);
@@ -311,6 +382,13 @@ class ServingSim {
   void admit_or_backlog(TenantId tenant, TimeNs arrival);
   void finish_kernel(JobId id);
   void complete_ls_job(TenantId tenant, TimeNs arrival);
+  // ---- dynamic batching ----
+  void enqueue_for_batch(TenantId t, TimeNs arrival);
+  /// Move the assembly queue into a batch job (or the ready queue when no
+  /// instance is free); cancels the assembly timer. No-op when empty.
+  void close_batch(TenantId t);
+  void admit_batch(TenantId t, std::vector<TimeNs> arrivals);
+  void complete_ls_batch(TenantId t, const std::vector<TimeNs>& arrivals);
   void rotate_be(Job& job);
   void note_inflight(QosClass qos, int delta);
   void poke();
@@ -338,6 +416,7 @@ class ServingSim {
   std::vector<unsigned> instances_;      // per tenant pool size (LS only)
   std::vector<unsigned> free_instances_; // per tenant (LS slots only)
   std::vector<std::deque<TimeNs>> backlog_;  // queued arrivals per tenant
+  std::vector<std::unique_ptr<BatchState>> batch_;  // null unless batching
   std::vector<char> active_;             // per tenant; 0 after removal
   std::vector<gpusim::TpcMask> guaranteed_mask_;  // per tenant; 0 = none
   gpusim::TpcMask guaranteed_used_ = 0;  // union of carved regions
@@ -422,6 +501,15 @@ class ServingSimBuilder {
   ServingSimBuilder& quota(control::VgpuSpec vgpu) {
     SGDRC_REQUIRE(!tenants_.empty(), "quota() needs a tenant to attach to");
     tenants_.back().vgpu = vgpu;
+    return *this;
+  }
+  /// Attach a request-batching policy to the most recently added tenant:
+  ///   builder.add_latency_sensitive(m, iso)
+  ///          .batching(workload::batch_up_to(8, 2 * kNsPerMs))
+  ServingSimBuilder& batching(workload::BatchPolicy policy) {
+    SGDRC_REQUIRE(!tenants_.empty(),
+                  "batching() needs a tenant to attach to");
+    tenants_.back().batching = policy;
     return *this;
   }
 

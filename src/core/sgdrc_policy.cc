@@ -279,8 +279,12 @@ ResourcePlan SgdrcPolicy::plan(const SimView& sim) {
       unequal_weights = true;
     }
   }
+  // An external floor (batch-aware wrapper) widens the reservation the
+  // tide keeps clear for upcoming LS work; 0 = the historic tide exactly.
+  const unsigned eff_reserve =
+      std::max(ls_reserve_, std::min(reserve_floor_, num_tpcs_));
   const TpcMask reserved =
-      gpusim::tpc_range(num_tpcs_ - ls_reserve_, ls_reserve_) | ls_guar;
+      gpusim::tpc_range(num_tpcs_ - eff_reserve, eff_reserve) | ls_guar;
   TpcMask weighted_pool_left = 0;  // partition cursor (unequal weights)
   unsigned weighted_pool_bits = 0;  // original pool size — shares are
                                     // fractions of the whole pool, not of

@@ -55,6 +55,14 @@ class SgdrcPolicy : public control::Controller {
   gpusim::ChannelSet be_channels() const { return be_channels_; }
   gpusim::ChannelSet ls_channels() const { return ls_channels_; }
 
+  /// Lower bound on the sliding-window SM reservation, set per plan by an
+  /// outer controller (the batch-aware wrapper widens it when batch
+  /// occupancy says wide kernels are coming, narrows it back to 0 when
+  /// they are not). 0 — the default — reproduces the historic tide
+  /// bit-for-bit; values are clamped to the device.
+  void set_reserve_floor(unsigned tpcs) { reserve_floor_ = tpcs; }
+  unsigned reserve_floor() const { return reserve_floor_; }
+
  private:
   /// The LS/BE channel split for this plan: the ctor default, or one
   /// re-derived from the active tenants' guaranteed channel shares.
@@ -67,6 +75,7 @@ class SgdrcPolicy : public control::Controller {
   gpusim::ChannelSet ls_channels_;  // 1−ChBE
   TimeNs last_ls_activity_ = 0;     // tide clock
   unsigned ls_reserve_ = 1;         // sliding-window SM reservation
+  unsigned reserve_floor_ = 0;      // external floor (batch-aware wrapper)
   TimeNs last_decay_ = 0;           // reserve decay clock
 };
 

@@ -13,34 +13,44 @@ size_t RoundRobinRouter::route(const FleetSim& fleet, unsigned tenant,
   return pick;
 }
 
-size_t LeastOutstandingRouter::route(const FleetSim& fleet, unsigned tenant,
-                                     const std::vector<Replica>& replicas) {
-  (void)tenant;
-  size_t best = 0;
-  size_t best_load = fleet.outstanding(replicas[0]);
-  for (size_t i = 1; i < replicas.size(); ++i) {
-    const size_t load = fleet.outstanding(replicas[i]);
-    if (load < best_load) {
-      best = i;
-      best_load = load;
+namespace {
+
+/// Scan replicas starting at a rotated offset and keep the first strict
+/// minimum. Unequal loads pick the same replica regardless of offset;
+/// ties resolve to a different replica each call instead of hot-spotting
+/// the lowest index (device 0 under pack placement, every startup).
+template <typename LoadFn>
+size_t rotated_min(std::vector<size_t>& cursor, unsigned tenant,
+                   size_t replicas, LoadFn load) {
+  if (tenant >= cursor.size()) cursor.resize(tenant + 1, 0);  // churned in
+  const size_t start = cursor[tenant]++ % replicas;
+  size_t best = start;
+  auto best_load = load(start);
+  for (size_t i = 1; i < replicas; ++i) {
+    const size_t idx = (start + i) % replicas;
+    const auto l = load(idx);
+    if (l < best_load) {
+      best = idx;
+      best_load = l;
     }
   }
   return best;
 }
 
+}  // namespace
+
+size_t LeastOutstandingRouter::route(const FleetSim& fleet, unsigned tenant,
+                                     const std::vector<Replica>& replicas) {
+  return rotated_min(cursor_, tenant, replicas.size(), [&](size_t i) {
+    return fleet.outstanding(replicas[i]);
+  });
+}
+
 size_t QosLoadAwareRouter::route(const FleetSim& fleet, unsigned tenant,
                                  const std::vector<Replica>& replicas) {
-  (void)tenant;
-  size_t best = 0;
-  double best_load = fleet.device_ls_load(replicas[0].device);
-  for (size_t i = 1; i < replicas.size(); ++i) {
-    const double load = fleet.device_ls_load(replicas[i].device);
-    if (load < best_load) {
-      best = i;
-      best_load = load;
-    }
-  }
-  return best;
+  return rotated_min(cursor_, tenant, replicas.size(), [&](size_t i) {
+    return fleet.device_ls_load(replicas[i].device);
+  });
 }
 
 }  // namespace sgdrc::fleet

@@ -52,23 +52,39 @@ class RoundRobinRouter : public Router {
 };
 
 /// Send to the replica with the fewest requests in its system (admitted
-/// + backlogged); ties break toward the lowest replica index.
+/// + backlogged, including batch-assembly queues). Ties rotate through a
+/// per-tenant cursor: equal loads are common (an idle fleet, every
+/// startup), and the old lowest-index tie-break hot-spotted device 0
+/// under pack placement. Deterministic — no RNG in the dispatch path.
 class LeastOutstandingRouter : public Router {
  public:
   std::string name() const override { return "least-outstanding"; }
+  void reset(size_t fleet_tenants) override {
+    cursor_.assign(fleet_tenants, 0);
+  }
   size_t route(const FleetSim& fleet, unsigned tenant,
                const std::vector<Replica>& replicas) override;
+
+ private:
+  std::vector<size_t> cursor_;
 };
 
 /// Send to the replica whose *device* carries the least expected LS work
 /// (Σ outstanding × isolated latency over every LS tenant on the device)
 /// — cross-tenant aware, so a replica that is itself idle on a device
-/// hammered by a co-located tenant is avoided.
+/// hammered by a co-located tenant is avoided. Equal-load ties rotate
+/// like LeastOutstandingRouter's (cursor-based, deterministic).
 class QosLoadAwareRouter : public Router {
  public:
   std::string name() const override { return "qos-load-aware"; }
+  void reset(size_t fleet_tenants) override {
+    cursor_.assign(fleet_tenants, 0);
+  }
   size_t route(const FleetSim& fleet, unsigned tenant,
                const std::vector<Replica>& replicas) override;
+
+ private:
+  std::vector<size_t> cursor_;
 };
 
 }  // namespace sgdrc::fleet

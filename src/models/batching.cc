@@ -1,0 +1,61 @@
+#include "models/batching.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sgdrc::models {
+
+uint64_t kernel_weight_bytes(const ModelDesc& m, int kernel_idx) {
+  uint64_t bytes = 0;
+  for (const auto& t : m.tensors) {
+    if (t.kind != TensorKind::kWeight) continue;
+    for (const int k : t.consumed_by) {
+      if (k == kernel_idx) {
+        bytes += t.bytes;
+        break;
+      }
+    }
+  }
+  return bytes;
+}
+
+ModelDesc batched_variant(const ModelDesc& m, unsigned batch) {
+  SGDRC_REQUIRE(batch >= 1, "batch size must be at least 1");
+  ModelDesc out = m;
+  if (batch == 1) return out;
+  const auto b = static_cast<uint64_t>(batch);
+  const double width_scale = std::sqrt(static_cast<double>(batch));
+
+  for (size_t i = 0; i < out.kernels.size(); ++i) {
+    auto& k = out.kernels[i];
+    // Weight traffic is read once per batch; everything else is
+    // activation-shaped and scales with B. (Clamp: synthesized kernel
+    // byte counts and the tensor graph are built independently.)
+    const uint64_t weights =
+        std::min(kernel_weight_bytes(out, static_cast<int>(i)), k.bytes);
+    k.flops *= b;
+    k.bytes = weights + (k.bytes - weights) * b;
+    k.blocks = static_cast<unsigned>(
+        std::min<uint64_t>(k.blocks * b, 1u << 24));
+    k.max_useful_tpcs =
+        std::min(k.max_useful_tpcs * static_cast<double>(batch), 1e9);
+    if (k.min_tpcs > 0) {
+      // The latency-optimal width grows ~√B: compute work is ×B but a
+      // √B-wider mask keeps per-request time falling ~1/√B. Capped by
+      // the grid (a kernel cannot use more TPCs than it has blocks for).
+      const double widened =
+          std::ceil(static_cast<double>(k.min_tpcs) * width_scale);
+      k.min_tpcs = static_cast<unsigned>(
+          std::min({widened, k.max_useful_tpcs, 64.0}));
+    }
+  }
+  // Activation tensors carry B samples; weights stay single-copy. Keeps
+  // footprint analysis (bimodal duplication, §7.2) honest for batches.
+  for (auto& t : out.tensors) {
+    if (t.kind != TensorKind::kWeight) t.bytes *= b;
+  }
+  out.batch = m.batch * batch;
+  return out;
+}
+
+}  // namespace sgdrc::models

@@ -1,0 +1,38 @@
+// Batch-size scaling of a model's kernel sequence — the latency model
+// behind dynamic request batching. Serving B requests as one batch does
+// NOT cost B× the GPU time of one request; the sublinearity is derived
+// per kernel from the model's own compute/memory footprint:
+//
+//  * compute work (FLOPs) scales ×B, but the grid grows ×B with it, so
+//    the kernel exposes B× the parallelism (max_useful_tpcs) and its
+//    latency-optimal TPC width (min_tpcs) widens ~√B — wider masks soak
+//    the extra work instead of serialising it;
+//  * memory traffic splits by the tensor graph: weight bytes are read
+//    once per batch regardless of B (the amortisation that makes
+//    batching worthwhile), activation bytes scale ×B;
+//  * per-kernel launch overhead is paid once per batch instead of once
+//    per request — a large fixed win for the many-small-kernel models of
+//    Tab. 3.
+//
+// batched_variant(m, B) bakes all of that into an ordinary ModelDesc, so
+// the executor, the SPT transformer, and every scheduler see a batched
+// inference as just another kernel sequence — no special cases anywhere
+// downstream.
+#pragma once
+
+#include "models/model.h"
+
+namespace sgdrc::models {
+
+/// The batch-B variant of a (possibly SPT-transformed, possibly
+/// profiled) model. B = 1 returns an unmodified copy. Profiled kernel
+/// metadata (memory_bound, min_tpcs) is scaled, not re-profiled:
+/// min_tpcs grows ~√B (capped by the grown grid), memory-boundedness is
+/// preserved.
+ModelDesc batched_variant(const ModelDesc& m, unsigned batch);
+
+/// Bytes of weight tensors kernel `kernel_idx` reads (the per-batch
+/// amortisable part of its traffic), from the model's tensor graph.
+uint64_t kernel_weight_bytes(const ModelDesc& m, int kernel_idx);
+
+}  // namespace sgdrc::models

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -31,14 +32,23 @@ struct TenantMetrics {
   uint64_t served = 0;
   uint64_t attained = 0;  // served within SLO
 
+  /// NaN (→ null in the bench JSON) when no request was served: zero
+  /// traffic is "no data", not 100% attainment — a vacuous 1.0 here used
+  /// to sail through the CI slo_ok gate.
   double attainment() const {
     return served ? static_cast<double>(attained) /
                         static_cast<double>(served)
-                  : 1.0;
+                  : std::numeric_limits<double>::quiet_NaN();
   }
+  bool has_latency_data() const { return served > 0; }
   double p99_ms() const {
     return latency.empty() ? 0.0 : to_ms(static_cast<TimeNs>(latency.p99()));
   }
+
+  // ---- request-batching family (LS tenants with a BatchPolicy) ----
+  /// One sample per launched batch: its occupancy (requests per batch).
+  /// Empty when the tenant does not batch.
+  Samples batch_sizes;
 
   // ---- best-effort family ----
   unsigned batch = 1;
@@ -62,6 +72,7 @@ struct TenantMetrics {
   void absorb(const TenantMetrics& replica) {
     SGDRC_REQUIRE(qos == replica.qos, "absorbing across QoS classes");
     latency.add_all(replica.latency);
+    batch_sizes.add_all(replica.batch_sizes);
     arrived += replica.arrived;
     served += replica.served;
     attained += replica.attained;
@@ -92,14 +103,19 @@ inline double be_throughput(const std::vector<TenantMetrics>& tenants,
 }
 
 inline double mean_attainment(const std::vector<TenantMetrics>& tenants) {
+  // Over LS tenants *with data*: a zero-served tenant must not pull the
+  // mean toward a vacuous 1.0. NaN when no LS tenant served anything.
   double s = 0.0;
   size_t n = 0;
   for (const auto& m : tenants) {
-    if (m.qos != QosClass::kLatencySensitive) continue;
+    if (m.qos != QosClass::kLatencySensitive || !m.has_latency_data()) {
+      continue;
+    }
     s += m.attainment();
     ++n;
   }
-  return n ? s / static_cast<double>(n) : 1.0;
+  return n ? s / static_cast<double>(n)
+           : std::numeric_limits<double>::quiet_NaN();
 }
 
 struct ServingMetrics {

@@ -70,6 +70,12 @@ Scenario& Scenario::autoscale(fleet::AutoscalerOptions opt) {
   return *this;
 }
 
+Scenario& Scenario::batch_ls(BatchPolicy policy) {
+  SGDRC_REQUIRE(policy.enabled(), "batch_ls needs max_batch > 1");
+  ls_batching_ = policy;
+  return *this;
+}
+
 // ------------------------------------------------------------ compiler ----
 
 namespace {
@@ -233,10 +239,22 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
   fcfg.dispatch_latency = cfg.dispatch_latency;
   fcfg.dispatch_jitter = cfg.dispatch_jitter;
 
+  // Scenario-wide LS batching: arm every LS tenant that does not declare
+  // its own policy (initial and arriving alike), so one catalog entry
+  // flips the throughput-for-latency axis for every system identically.
+  const auto armed = [&scenario](core::TenantSpec spec) {
+    if (scenario.ls_batch_policy().enabled() &&
+        spec.qos == QosClass::kLatencySensitive &&
+        !spec.batching.enabled()) {
+      spec.batching = scenario.ls_batch_policy();
+    }
+    return spec;
+  };
+
   std::vector<fleet::FleetTenantSpec> tenants;
   tenants.reserve(initial.size());
   for (const ScenarioTenant& t : initial) {
-    tenants.push_back(fleet::replicated(t.spec, t.replicas));
+    tenants.push_back(fleet::replicated(armed(t.spec), t.replicas));
   }
 
   fleet::FleetSim sim(fcfg, std::move(tenants), placement, router,
@@ -250,9 +268,9 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
   // Control actions are scheduled before same-timestamp injections, so
   // an arriving service exists before its first request routes.
   for (const auto& a : scenario.arrivals()) {
-    sim.at(a.at, [&sim, &placement, spec = a.tenant] {
-      sim.add_fleet_tenant(fleet::replicated(spec.spec, spec.replicas),
-                           placement);
+    sim.at(a.at, [&sim, &placement, spec = armed(a.tenant.spec),
+                  replicas = a.tenant.replicas] {
+      sim.add_fleet_tenant(fleet::replicated(spec, replicas), placement);
     });
   }
   for (const auto& d : scenario.departures()) {
@@ -343,6 +361,21 @@ std::vector<Scenario> scenario_catalog(const ScenarioCatalogOptions& opt) {
   out.emplace_back("slo-tighten",
                    "every LS SLO tightens to 0.6x halfway through", d);
   out.back().devices(opt.devices).slo_factor(d / 2, 0.6);
+
+  {
+    // The throughput-for-latency axis: every LS tenant batches (up to 8
+    // requests, 1 ms assembly) while a 3x surge lands mid-run — batching
+    // absorbs the surge by amortising launches and weight traffic.
+    Scenario batching("batching",
+                      "every LS service batches up to 8 requests (1 ms "
+                      "assembly) through a 3x mid-run surge",
+                      d);
+    batching.devices(opt.devices)
+        .batch_ls(batch_up_to(8, 1 * kNsPerMs))
+        .rate(Scenario::kAllServices, (2 * d) / 5, 3.0)
+        .rate(Scenario::kAllServices, (7 * d) / 10, 1.0);
+    out.push_back(std::move(batching));
+  }
 
   return out;
 }

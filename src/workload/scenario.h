@@ -75,6 +75,12 @@ class Scenario {
   Scenario& devices(unsigned n);
   /// Put a reactive autoscaler in the loop.
   Scenario& autoscale(fleet::AutoscalerOptions opt);
+  /// Arm dynamic request batching on every LS tenant of the run (initial
+  /// and scripted arrivals) that does not declare its own BatchPolicy —
+  /// the scenario-level switch the stock `batching` scenario uses, so
+  /// one catalog entry turns the throughput-for-latency trade on for
+  /// every system under test identically.
+  Scenario& batch_ls(BatchPolicy policy);
 
   // ------------------------------------------------------- accessors ----
   struct RateStep {
@@ -105,6 +111,8 @@ class Scenario {
   TimeNs duration() const { return duration_; }
   unsigned device_count() const { return devices_; }
   bool autoscaled() const { return autoscale_; }
+  /// The scenario-wide LS batching policy (disabled unless batch_ls()).
+  const BatchPolicy& ls_batch_policy() const { return ls_batching_; }
   const fleet::AutoscalerOptions& autoscaler_options() const {
     return autoscaler_opt_;
   }
@@ -123,6 +131,7 @@ class Scenario {
   unsigned devices_ = 2;
   bool autoscale_ = false;
   fleet::AutoscalerOptions autoscaler_opt_;
+  BatchPolicy ls_batching_;  // default: disabled
   std::vector<RateStep> rate_steps_;
   std::vector<Arrival> arrivals_;
   std::vector<Departure> departures_;

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 
+#include "common/sim_time.h"
+
 namespace sgdrc::workload {
 
 /// Dense index of a tenant within one serving simulation (assignment
@@ -26,6 +28,31 @@ enum class QosClass : uint8_t {
 
 constexpr const char* qos_name(QosClass c) {
   return c == QosClass::kLatencySensitive ? "LS" : "BE";
+}
+
+/// Dynamic request batching for a latency-sensitive tenant: requests
+/// accumulate in an assembly queue and launch as ONE batched job when
+/// either the batch fills (`max_batch`) or the oldest queued request has
+/// waited `assembly_timeout` — the classic throughput-for-latency trade
+/// of production inference servers. End-to-end latency of every request
+/// in the batch includes its own assembly wait.
+///
+/// Defaults are OFF (max_batch = 1): a tenant without a policy serves
+/// each request as its own job, bit-for-bit as before batching existed.
+struct BatchPolicy {
+  /// Requests per batch at most; 1 disables batching entirely.
+  unsigned max_batch = 1;
+  /// How long a partial batch may wait for companions before launching
+  /// anyway (measured from the first request in the assembly queue).
+  /// 0 with max_batch > 1 degenerates to never waiting: every request
+  /// launches as a batch of one.
+  TimeNs assembly_timeout = 0;
+
+  bool enabled() const { return max_batch > 1; }
+};
+
+inline BatchPolicy batch_up_to(unsigned max_batch, TimeNs assembly_timeout) {
+  return {max_batch, assembly_timeout};
 }
 
 }  // namespace sgdrc::workload

@@ -111,9 +111,19 @@ TEST(Samples, PercentileSingleElement) {
 TEST(Samples, FractionAtMost) {
   Samples s;
   for (int i = 1; i <= 10; ++i) s.add(i);
-  EXPECT_DOUBLE_EQ(s.fraction_at_most(5.0), 0.5);
-  EXPECT_DOUBLE_EQ(s.fraction_at_most(0.5), 0.0);
-  EXPECT_DOUBLE_EQ(s.fraction_at_most(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.fraction_at_most(5.0).value(), 0.5);
+  EXPECT_DOUBLE_EQ(s.fraction_at_most(0.5).value(), 0.0);
+  EXPECT_DOUBLE_EQ(s.fraction_at_most(10.0).value(), 1.0);
+}
+
+// Regression: an empty sample set used to report fraction 1.0 — a tenant
+// that served zero requests claimed 100% SLO attainment and vacuously
+// passed the CI slo_ok gate. No data must be explicit.
+TEST(Samples, FractionAtMostOfEmptyIsNoData) {
+  Samples s;
+  EXPECT_FALSE(s.fraction_at_most(5.0).has_value());
+  s.add(1.0);
+  EXPECT_TRUE(s.fraction_at_most(5.0).has_value());
 }
 
 TEST(Samples, CdfIsMonotone) {
@@ -259,6 +269,43 @@ TEST(EventQueue, SchedulingInPastThrows) {
   q.schedule_at(100, [] {});
   q.run_all();
   EXPECT_THROW(q.schedule_at(50, [] {}), InvariantError);
+}
+
+// Regression: bookkeeping used to grow one tombstone slot per event ever
+// scheduled, leaking memory linearly over a multi-hour run. Slots must be
+// bounded by *peak concurrent pending*, not total throughput.
+TEST(EventQueue, SlotMemoryBoundedAcrossMillionsOfEvents) {
+  EventQueue q;
+  constexpr size_t kBatch = 64;
+  constexpr size_t kRounds = 40'000;  // 2.56M events total
+  uint64_t fired = 0;
+  for (size_t r = 0; r < kRounds; ++r) {
+    std::vector<EventId> ids;
+    ids.reserve(kBatch);
+    for (size_t i = 0; i < kBatch; ++i) {
+      ids.push_back(q.schedule_after(1 + i, [&] { ++fired; }));
+    }
+    q.cancel(ids[0]);  // mix cancellations into the churn
+    q.run_all();
+  }
+  EXPECT_EQ(fired, kRounds * (kBatch - 1));
+  EXPECT_TRUE(q.empty());
+  // Peak pending is kBatch; a healthy pool stays within a small constant
+  // of that. The pre-fix implementation would report 2'560'000 here.
+  EXPECT_LE(q.slot_count(), 2 * kBatch);
+}
+
+TEST(EventQueue, StaleIdCannotCancelASlotReuse) {
+  EventQueue q;
+  int fired = 0;
+  const EventId a = q.schedule_at(5, [&] { ++fired; });
+  ASSERT_TRUE(q.cancel(a));
+  // The slot is recycled by the next event; the stale id must not reach it.
+  const EventId b = q.schedule_at(6, [&] { ++fired; });
+  EXPECT_FALSE(q.cancel(a));
+  q.run_all();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.cancel(b));  // already fired
 }
 
 // --------------------------------------------------------- ThreadPool ----

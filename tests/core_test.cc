@@ -3,6 +3,7 @@
 // end-to-end comparisons against the baselines on a small configuration.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <functional>
 
 #include "baselines/baseline_policies.h"
@@ -507,6 +508,27 @@ TEST(TenantApi, PerTenantInstanceOverrides) {
   ASSERT_EQ(lsm.size(), 1u);
   EXPECT_EQ(lsm[0]->arrived, 6u);
   EXPECT_EQ(lsm[0]->served, 6u);
+}
+
+// Regression: a tenant that served zero requests used to report 100%
+// attainment (and pulled class means toward a vacuous 1.0).
+TEST(Metrics, ZeroServedTenantReportsNoDataNotPerfectAttainment) {
+  workload::TenantMetrics idle;
+  idle.qos = QosClass::kLatencySensitive;
+  EXPECT_TRUE(std::isnan(idle.attainment()));
+  EXPECT_FALSE(idle.has_latency_data());
+
+  workload::TenantMetrics busy;
+  busy.qos = QosClass::kLatencySensitive;
+  busy.served = 4;
+  busy.attained = 3;
+  EXPECT_DOUBLE_EQ(busy.attainment(), 0.75);
+
+  // The idle tenant must not drag the class mean toward 1.0 (the old
+  // behaviour averaged {1.0, 0.75} = 0.875 here).
+  EXPECT_DOUBLE_EQ(workload::mean_attainment({idle, busy}), 0.75);
+  // No data anywhere is NaN, not a vacuous pass.
+  EXPECT_TRUE(std::isnan(workload::mean_attainment({idle})));
 }
 
 }  // namespace

@@ -182,7 +182,7 @@ TEST(Router, LeastOutstandingPicksTheIdleReplica) {
                  sgdrc_factory());
   // Four near-simultaneous requests (gaps ≪ isolated latency): each
   // dispatch must see the earlier ones still in flight and alternate to
-  // the idle replica, even though ties favour replica 0.
+  // the idle replica.
   const TimeNs gap = std::max<TimeNs>(z.iso_a / 64, 1);
   std::vector<Request> trace;
   for (unsigned i = 0; i < 4; ++i) {
@@ -190,6 +190,41 @@ TEST(Router, LeastOutstandingPicksTheIdleReplica) {
   }
   const auto m = fleet.run(trace);
   EXPECT_EQ(m.routed, (std::vector<uint64_t>{2, 2}));
+}
+
+// Regression: equal loads used to break toward the lowest replica index,
+// so an idle fleet (every startup; every lull) funnelled all traffic to
+// device 0. Well-separated requests — each one completes before the next
+// arrives, so every dispatch sees an all-idle tie — must now spread
+// round-robin across the replicas, for both load-aware routers.
+TEST(Router, LoadAwareTieBreakRotatesOnIdleFleet) {
+  const auto& z = zoo();
+  std::vector<Request> trace;
+  for (unsigned i = 0; i < 12; ++i) {
+    trace.push_back({i * 40 * kNsPerMs, 0});
+  }
+  {
+    std::vector<FleetTenantSpec> tenants{
+        replicated(latency_sensitive_tenant(z.ls_a, z.iso_a), 3)};
+    SpreadPlacement spread;
+    LeastOutstandingRouter lo;
+    FleetSim fleet(small_fleet(3, 500 * kNsPerMs), tenants, spread, lo,
+                   sgdrc_factory());
+    const auto m = fleet.run(trace);
+    EXPECT_EQ(m.routed, (std::vector<uint64_t>{4, 4, 4}))
+        << "least-outstanding hot-spots a replica on an idle fleet";
+  }
+  {
+    std::vector<FleetTenantSpec> tenants{
+        replicated(latency_sensitive_tenant(z.ls_a, z.iso_a), 3)};
+    SpreadPlacement spread;
+    QosLoadAwareRouter qla;
+    FleetSim fleet(small_fleet(3, 500 * kNsPerMs), tenants, spread, qla,
+                   sgdrc_factory());
+    const auto m = fleet.run(trace);
+    EXPECT_EQ(m.routed, (std::vector<uint64_t>{4, 4, 4}))
+        << "qos-load-aware hot-spots a replica on an idle fleet";
+  }
 }
 
 TEST(Router, QosLoadAwareAvoidsTheLoadedDevice) {

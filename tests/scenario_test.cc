@@ -339,7 +339,7 @@ TEST(ScenarioRun, AutoscalerConvergesOnFlashCrowd) {
   EXPECT_GT(last.at, up->at);
 }
 
-TEST(ScenarioCatalog, ShipsTheSixStockScenarios) {
+TEST(ScenarioCatalog, ShipsTheSevenStockScenarios) {
   const auto& z = zoo();
   ScenarioCatalogOptions opt;
   opt.duration = 500 * kNsPerMs;
@@ -353,7 +353,7 @@ TEST(ScenarioCatalog, ShipsTheSixStockScenarios) {
     return ScenarioTenant{best_effort_tenant(z.be_i), 0.0, 1};
   };
   const auto catalog = scenario_catalog(opt);
-  ASSERT_EQ(catalog.size(), 6u);
+  ASSERT_EQ(catalog.size(), 7u);
   EXPECT_EQ(catalog[0].name(), "steady");
   EXPECT_EQ(catalog[1].name(), "diurnal");
   EXPECT_EQ(catalog[2].name(), "flash-crowd");
@@ -364,6 +364,9 @@ TEST(ScenarioCatalog, ShipsTheSixStockScenarios) {
   EXPECT_EQ(catalog[4].name(), "be-backfill-surge");
   EXPECT_EQ(catalog[5].name(), "slo-tighten");
   EXPECT_EQ(catalog[5].slo_changes().size(), 1u);
+  EXPECT_EQ(catalog[6].name(), "batching");
+  EXPECT_TRUE(catalog[6].ls_batch_policy().enabled());
+  EXPECT_EQ(catalog[6].ls_batch_policy().max_batch, 8u);
   for (const auto& sc : catalog) {
     EXPECT_EQ(sc.duration(), opt.duration);
     EXPECT_FALSE(sc.description().empty());

@@ -9,7 +9,10 @@ bench/baselines/ and fails (exit 1) when
   * any best-effort throughput metric drops by more than --be-tolerance
     (default 10%), or
   * a boolean pass/fail metric (e.g. vgpu_isolation's quota-isolation
-    `slo_ok`) flips from true in the baseline to false now, or
+    `slo_ok`, batching_sweep's SGDRC `slo_ok`) stops being true — a flip
+    to false AND a lapse into null/no-data both fail: a tenant that
+    served zero requests must not pass the gate vacuously, or
+  * a numeric `attainment` in the baseline turns null (no data) now, or
   * a (scenario, system) combination present in the baseline disappears
     from the current output (shrinking coverage would silently shrink
     the gate).
@@ -24,6 +27,7 @@ baselines when you want the gate to hold the new line:
     ./fig17_end_to_end --quick --json bench/baselines/BENCH_fig17.json
     ./scenario_sweep   --quick --json bench/baselines/BENCH_scenarios.json
     ./vgpu_isolation   --quick --json bench/baselines/BENCH_vgpu.json
+    ./batching_sweep   --quick --json bench/baselines/BENCH_batching.json
 
 Override: label the PR `perf-gate-override` (documented in README) to
 skip the gate on the PR run for intentional regressions. The label
@@ -78,12 +82,25 @@ def records_scenarios(doc):
 def records_vgpu(doc):
     """vgpu_isolation: one record per (flood size, system). The `ok`
     boolean is the quota-isolation property itself (LS p99 within SLO);
-    losing it is a regression regardless of magnitude."""
+    losing it is a regression regardless of magnitude. `slo_ok` is null
+    when the tenant served nothing (no data ≠ pass)."""
     for cell in doc.get("cells", []):
         yield ("vgpu", cell["be_tenants"], cell["system"]), {
             "p99_ms": cell.get("p99_ms"),
             "be": cell.get("be_samples_per_s"),
             "ok": cell.get("slo_ok") if cell.get("quota") else None,
+            "att": cell.get("attainment"),
+        }
+
+
+def records_batching(doc):
+    """batching_sweep: one record per (max batch size, system)."""
+    for cell in doc.get("cells", []):
+        yield ("batching", cell["max_batch"], cell["system"]), {
+            "p99_ms": cell.get("p99_ms"),
+            "be": cell.get("be_samples_per_s"),
+            "ok": cell.get("slo_ok") if cell.get("system") == "SGDRC" else None,
+            "att": cell.get("attainment"),
         }
 
 
@@ -92,6 +109,7 @@ EXTRACTORS = {
     "fig17_end_to_end": records_fig17,
     "scenario_sweep": records_scenarios,
     "vgpu_isolation": records_vgpu,
+    "batching_sweep": records_batching,
 }
 
 
@@ -128,10 +146,20 @@ def compare(name, base, cur, p99_tol, be_tol):
                     f"{b99:.3f} ms (+{100.0 * (c99 / b99 - 1.0):.1f}%, "
                     f"limit +{100.0 * p99_tol:.0f}%)")
         bok, cok = bm.get("ok"), cm.get("ok")
-        if bok is True and cok is False:
+        if bok is True and cok is not True:
+            # False is a regression; null/missing means the metric became
+            # no-data (zero served requests) — vacuous attainment must
+            # fail the gate, not slide through as a pass.
+            what = ("false now" if cok is False else
+                    "no-data now (zero served requests)")
             failures.append(
                 f"{name}: {keystr(key)}: pass/fail metric was true in the "
-                "baseline but is false now (quota isolation regressed)")
+                f"baseline but is {what}")
+        batt, catt = bm.get("att"), cm.get("att")
+        if batt is not None and catt is None:
+            failures.append(
+                f"{name}: {keystr(key)}: attainment was {batt:.3f} in the "
+                "baseline but is no-data now (zero served requests)")
         bbe, cbe = bm.get("be"), cm.get("be")
         if bbe is not None and cbe is not None and bbe > ABS_BE_FLOOR:
             limit = bbe * (1.0 - be_tol)

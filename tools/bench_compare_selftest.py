@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Self-test for the CI perf gate (tools/bench_compare.py).
+
+Runs the gate against synthetic fixture JSON and asserts it passes and
+fails where it must — in particular the vacuous-attainment regression:
+a quota cell whose `slo_ok` turns null (tenant served zero requests)
+must FAIL against a baseline where it was true, and a numeric
+`attainment` turning null must fail too. Registered as a ctest so the
+gate's own behaviour is regression-tested alongside the C++ suite.
+
+Usage: tools/bench_compare_selftest.py   (exit 0 = all checks hold)
+"""
+
+import copy
+import json
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+GATE = pathlib.Path(__file__).resolve().parent / "bench_compare.py"
+
+BASELINE_VGPU = {
+    "bench": "vgpu_isolation",
+    "quick": True,
+    "duration_ms": 250.0,
+    "cells": [
+        {"be_tenants": 4, "system": "SGDRC + quota", "quota": True,
+         "p99_ms": 3.2, "slo_ms": 5.9, "slo_ok": True, "attainment": 1.0,
+         "be_samples_per_s": 27.4, "guarantee_violations": 0},
+        {"be_tenants": 4, "system": "Multi-streaming", "quota": False,
+         "p99_ms": 12.6, "slo_ms": 5.9, "slo_ok": False, "attainment": 0.35,
+         "be_samples_per_s": 31.0, "guarantee_violations": 9000},
+    ],
+}
+
+
+def run_gate(baseline, current):
+    with tempfile.TemporaryDirectory() as tmp:
+        bdir = pathlib.Path(tmp) / "baseline"
+        cdir = pathlib.Path(tmp) / "current"
+        bdir.mkdir()
+        cdir.mkdir()
+        (bdir / "BENCH_vgpu.json").write_text(json.dumps(baseline))
+        (cdir / "BENCH_vgpu.json").write_text(json.dumps(current))
+        proc = subprocess.run(
+            [sys.executable, str(GATE), str(bdir), str(cdir)],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout + proc.stderr
+
+
+def expect(name, rc, out, should_fail, needle=None):
+    ok = (rc != 0) == should_fail and (needle is None or needle in out)
+    status = "ok" if ok else "FAILED"
+    print(f"  [{status}] {name}")
+    if not ok:
+        print(out)
+    return ok
+
+
+def main():
+    checks = []
+
+    rc, out = run_gate(BASELINE_VGPU, BASELINE_VGPU)
+    checks.append(expect("identical output passes", rc, out, False))
+
+    cur = copy.deepcopy(BASELINE_VGPU)
+    cur["cells"][0]["slo_ok"] = False
+    rc, out = run_gate(BASELINE_VGPU, cur)
+    checks.append(expect("slo_ok true -> false fails", rc, out, True,
+                         "pass/fail metric was true"))
+
+    # The vacuous-attainment regression: a quota cell that served zero
+    # requests emits slo_ok: null / attainment: null; the gate used to
+    # compare only `is False` and waved the null through as a pass.
+    cur = copy.deepcopy(BASELINE_VGPU)
+    cur["cells"][0]["slo_ok"] = None
+    cur["cells"][0]["attainment"] = None
+    rc, out = run_gate(BASELINE_VGPU, cur)
+    checks.append(expect("slo_ok true -> null (no data) fails", rc, out,
+                         True, "no-data now"))
+
+    cur = copy.deepcopy(BASELINE_VGPU)
+    cur["cells"][1]["attainment"] = None
+    rc, out = run_gate(BASELINE_VGPU, cur)
+    checks.append(expect("attainment number -> null fails", rc, out, True,
+                         "attainment was"))
+
+    cur = copy.deepcopy(BASELINE_VGPU)
+    cur["cells"][0]["p99_ms"] = 5.0  # +56%
+    rc, out = run_gate(BASELINE_VGPU, cur)
+    checks.append(expect("p99 regression fails", rc, out, True, "p99"))
+
+    cur = copy.deepcopy(BASELINE_VGPU)
+    del cur["cells"][1]
+    rc, out = run_gate(BASELINE_VGPU, cur)
+    checks.append(expect("shrunk coverage fails", rc, out, True,
+                         "missing from current output"))
+
+    # A non-quota cell's slo_ok is informational; flipping it must not trip
+    # the quota gate (Multi-streaming is *expected* to miss under floods).
+    cur = copy.deepcopy(BASELINE_VGPU)
+    cur["cells"][1]["slo_ok"] = True
+    rc, out = run_gate(BASELINE_VGPU, cur)
+    checks.append(expect("non-quota slo_ok change passes", rc, out, False))
+
+    if not all(checks):
+        print("bench_compare selftest FAILED")
+        return 1
+    print(f"bench_compare selftest passed ({len(checks)} checks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

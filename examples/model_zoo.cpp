@@ -1,0 +1,169 @@
+// A model zoo under VRAM pressure: 12 LS services drawn from the small
+// and mid-size profiled models on a 3-GPU fleet whose modeled VRAM is
+// squeezed to 48 MB per device — far below the zoo's registered
+// footprint — with services launching and retiring mid-run.
+// Weights load on first touch, evict under pressure, and demand-page
+// when nothing can be freed.
+//
+// The same scripted day runs twice: once behind the residency-blind
+// least-outstanding router, once behind the warm-weight router that
+// steers each request toward a replica whose weights are already
+// resident. The printout compares the cold-start rate and tail each
+// stack pays.
+//
+//   ./model_zoo
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/profiler.h"
+#include "core/sgdrc_policy.h"
+#include "models/zoo.h"
+#include "workload/scenario.h"
+
+using namespace sgdrc;
+using namespace sgdrc::workload;
+
+namespace {
+
+struct Zoo {
+  std::vector<models::ModelDesc> models;
+  std::vector<TimeNs> iso;
+};
+
+Zoo profile_zoo(const gpusim::GpuSpec& spec) {
+  core::OfflineProfiler profiler(spec);
+  Zoo z;
+  for (const char c : std::string("ABCDFGHABCDF")) {  // 12 services
+    models::ModelDesc m = models::make_model(c);
+    profiler.profile(m);
+    z.iso.push_back(profiler.isolated_latency(m));
+    z.models.push_back(std::move(m));
+  }
+  return z;
+}
+
+ScenarioTenant tenant_for(const Zoo& z, size_t i) {
+  // Light per-service traffic: the interesting contention here is VRAM,
+  // not SM time.
+  return {core::latency_sensitive_tenant(z.models[i], z.iso[i]),
+          0.15 / to_sec(z.iso[i]), 2};
+}
+
+ScenarioOutcome run_zoo(const Zoo& z, const gpusim::GpuSpec& spec,
+                        const memory::MemoryOptions& mem, bool warm_routing) {
+  const TimeNs day = 600 * kNsPerMs;
+  // Services 0-7 serve from t=0; 8-11 launch through the morning; the
+  // two oldest retire in the afternoon — a steady churn of model
+  // registrations the evictor has to make room for.
+  Scenario sc("model-zoo-day", "12-model zoo under VRAM pressure", day);
+  sc.devices(3).memory(mem);
+  std::vector<ScenarioTenant> initial;
+  for (size_t i = 0; i < 8; ++i) initial.push_back(tenant_for(z, i));
+  for (size_t i = 8; i < 12; ++i) {
+    sc.arrive(day * (i - 7) / 8, tenant_for(z, i));
+  }
+  sc.depart(day / 2, 0);
+  sc.depart(day * 5 / 8, 1);
+
+  ScenarioEngineConfig cfg;
+  cfg.spec = spec;
+  cfg.slo_multiplier = 8.0;
+  cfg.seed = 0x200;
+
+  fleet::QuotaAwarePlacement placement(spec.num_tpcs,
+                                       mem.vram_bytes_override);
+  fleet::WarmWeightRouter warm;
+  fleet::LeastOutstandingRouter blind;
+  fleet::Router& router =
+      warm_routing ? static_cast<fleet::Router&>(warm) : blind;
+  return run_scenario(
+      sc, initial, cfg, placement, router,
+      [](const gpusim::GpuSpec& gs) -> std::unique_ptr<control::Controller> {
+        return std::make_unique<core::SgdrcPolicy>(gs);
+      });
+}
+
+double cold_rate(const fleet::FleetMetrics& m) {
+  uint64_t served = 0;
+  for (const auto& t : m.tenants) served += t.served;
+  return served ? static_cast<double>(m.cold_requests()) /
+                      static_cast<double>(served)
+                : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const auto spec = gpusim::rtx_a2000();
+  const Zoo z = profile_zoo(spec);
+
+  uint64_t footprint = 0;
+  for (const auto& m : z.models) footprint += m.weight_bytes();
+
+  memory::MemoryOptions mem;
+  mem.enabled = true;
+  mem.vram_bytes_override = 48ull << 20;
+  mem.oversubscribe = true;
+  mem.load_gbps = 8.0;
+
+  std::printf("model zoo on 3x %s: 12 services, %.0f MB of weights vs "
+              "%.0f MB modeled VRAM per device\n\n",
+              spec.name.c_str(),
+              static_cast<double>(footprint) / (1024.0 * 1024.0),
+              static_cast<double>(mem.vram_bytes_override) /
+                  (1024.0 * 1024.0));
+
+  const auto blind = run_zoo(z, spec, mem, /*warm_routing=*/false);
+  const auto warm = run_zoo(z, spec, mem, /*warm_routing=*/true);
+
+  TextTable t({"router", "fleet p99 ms", "cold p99 ms", "cold req",
+               "cold rate", "loads", "evict", "paged", "SLO att."});
+  for (const auto* o : {&blind, &warm}) {
+    const auto& m = o->metrics;
+    const double cp = m.cold_start_p99_ms();
+    t.add_row({o == &warm ? "warm-weight" : "least-outstanding",
+               TextTable::num(m.fleet_p99_ms(), 2),
+               std::isnan(cp) ? "-" : TextTable::num(cp, 2),
+               std::to_string(m.cold_requests()),
+               TextTable::pct(cold_rate(m)),
+               std::to_string(m.weight_loads()),
+               std::to_string(m.weight_evictions()),
+               std::to_string(m.paged_requests()),
+               TextTable::pct(m.mean_attainment())});
+  }
+  t.print();
+
+  std::printf("\nper-service residency traffic (warm-weight run):\n");
+  TextTable pt({"service", "weights MB", "served", "cold req", "loads",
+                "evictions", "paged"});
+  // Fleet tenants sit in script order: initial services 0-7, then the
+  // four arrivals — the same order as the zoo list.
+  for (size_t i = 0; i < warm.metrics.tenants.size(); ++i) {
+    const auto& tm = warm.metrics.tenants[i];
+    if (tm.qos != QosClass::kLatencySensitive) continue;
+    const double mb = i < z.models.size()
+                          ? static_cast<double>(z.models[i].weight_bytes()) /
+                                (1024.0 * 1024.0)
+                          : 0.0;
+    pt.add_row({tm.name, TextTable::num(mb, 1),
+                std::to_string(tm.served),
+                std::to_string(tm.cold_latency.count()),
+                std::to_string(tm.weight_loads),
+                std::to_string(tm.weight_evictions),
+                std::to_string(tm.paged_requests)});
+  }
+  pt.print();
+
+  std::printf(
+      "\nReading: both stacks register the same models and run the same\n"
+      "quota-aware evictor; the only difference is routing. The blind\n"
+      "router keeps bouncing traffic onto whichever replica is idlest,\n"
+      "re-warming (and re-evicting) weights on both replicas of every\n"
+      "service; the warm-weight router concentrates each service on a\n"
+      "resident replica, so the fleet pays a fraction of the cold-start\n"
+      "requests, DMA loads, and demand-paged requests for the same SLO\n"
+      "attainment.\n");
+  return 0;
+}

@@ -40,6 +40,12 @@ struct VgpuSpec {
   double weight = 1.0;
   /// Launch-ordering tie-break within a class; higher runs first.
   int priority = 0;
+  /// Guaranteed VRAM bytes for the tenant's weights (memory
+  /// virtualization, src/memory). Validated like TPC budgets
+  /// (Σ quotas ≤ device VRAM on modeled devices); a replica within its
+  /// quota is shielded from pressure eviction, and loads beyond one's
+  /// own quota are counted as memory trespasses. 0 = no guarantee.
+  uint64_t memory_bytes = 0;
 
   bool guaranteed() const { return guaranteed_tpcs > 0; }
 };
@@ -48,6 +54,11 @@ struct VgpuSpec {
 inline VgpuSpec guaranteed_vgpu(unsigned tpcs, double channel_share = 0.0,
                                 double weight = 1.0, int priority = 0) {
   return {tpcs, channel_share, weight, priority};
+}
+/// Attach a guaranteed-memory quota to a vGPU declaration.
+inline VgpuSpec with_memory_quota(VgpuSpec vgpu, uint64_t memory_bytes) {
+  vgpu.memory_bytes = memory_bytes;
+  return vgpu;
 }
 
 }  // namespace sgdrc::control

@@ -65,10 +65,30 @@ ServingSim::ServingSim(EventQueue& queue, ServingConfig cfg,
 
 ServingSim::~ServingSim() = default;
 
+uint64_t ServingSim::effective_vram() const {
+  return cfg_.memory.vram_bytes_override ? cfg_.memory.vram_bytes_override
+                                         : cfg_.spec.vram_bytes;
+}
+
 void ServingSim::init() {
   // An empty tenant list is legal: fleets create device sims lazily when
   // an autoscaler or a scenario places the first replica mid-run.
   exec_ = std::make_unique<GpuExecutor>(cfg_.spec, queue_, cfg_.exec_params);
+
+  // Memory virtualization: only when enabled AND the device's capacity
+  // is modeled. vram_bytes == 0 (default-constructed GpuSpec) means
+  // "unmodeled/unlimited" — charging is skipped entirely, never an
+  // instant OOM on a spec that simply didn't declare its VRAM.
+  if (cfg_.memory.enabled && effective_vram() > 0) {
+    mem_ = std::make_unique<memory::MemoryManager>(
+        effective_vram(), cfg_.memory, cfg_.seed ^ 0x9e3779b97f4a7c15ull);
+    mem_->on_evict([this](TenantId t) {
+      if (!stopped_) ++metrics_.tenants[t].weight_evictions;
+    });
+    mem_->on_trespass([this](TenantId) {
+      if (!stopped_) ++metrics_.memory_trespasses;
+    });
+  }
 
   // SLO multiplier n = services concurrently on the GPU (§9.2): all LS
   // tenants plus the resident BE jobs (one rotating slot, or every BE
@@ -111,6 +131,13 @@ void ServingSim::register_tenant(TenantId t) {
   guaranteed_mask_.push_back(0);
   assign_guarantee_region(t);
   validate_vgpu_budget();
+  if (mem_) {
+    // Registration allocates the replica's weights (evicting idle
+    // victims under pressure); the first request pays the cold-start
+    // load. Weight bytes come from the model's kWeight tensors.
+    mem_->add_replica(t, spec.model.weight_bytes(), spec.vgpu.priority,
+                      spec.vgpu.memory_bytes, busy_probe());
+  }
   workload::TenantMetrics m;
   m.id = t;
   m.qos = spec.qos;
@@ -138,6 +165,13 @@ void ServingSim::register_tenant(TenantId t) {
     jobs_.push_back(job);
   }
   metrics_.tenants.push_back(std::move(m));
+  if (mem_ && spec.qos == QosClass::kBestEffort &&
+      mem_->residency(t) == memory::Residency::kPaged) {
+    // A BE loop that registered straight into the paged degraded mode
+    // restreams its weights before the first batch; rotate_be charges
+    // the per-batch restream from then on.
+    hold_job_for_paging(jobs_.back().id, mem_->page_penalty(t));
+  }
 }
 
 void ServingSim::assign_guarantee_region(TenantId t) {
@@ -186,6 +220,18 @@ void ServingSim::validate_vgpu_budget() const {
   }
   SGDRC_REQUIRE(channel_share <= 1.0 + 1e-9,
                 "guaranteed channel shares overcommitted across tenants");
+  // Guaranteed memory quotas work like TPC budgets: the sum across
+  // active tenants must fit the device. Only on modeled devices —
+  // vram_bytes == 0 means capacity is unmodeled and quotas are inert.
+  const uint64_t vram = effective_vram();
+  if (vram > 0) {
+    uint64_t memory_quota = 0;
+    for (TenantId t = 0; t < active_.size(); ++t) {
+      if (active_[t]) memory_quota += tenants_[t].vgpu.memory_bytes;
+    }
+    SGDRC_REQUIRE(memory_quota <= vram,
+                  "guaranteed memory quotas overcommit device VRAM");
+  }
 }
 
 gpusim::TpcMask ServingSim::guaranteed_union(QosClass qos) const {
@@ -218,10 +264,20 @@ void ServingSim::set_vgpu(TenantId t, const control::VgpuSpec& vgpu) {
   }
   SGDRC_REQUIRE(channel_share <= 1.0 + 1e-9,
                 "guaranteed channel shares overcommitted across tenants");
+  const uint64_t vram = effective_vram();
+  if (vram > 0) {
+    uint64_t memory_quota = vgpu.memory_bytes;
+    for (TenantId o = 0; o < active_.size(); ++o) {
+      if (o != t && active_[o]) memory_quota += tenants_[o].vgpu.memory_bytes;
+    }
+    SGDRC_REQUIRE(memory_quota <= vram,
+                  "guaranteed memory quotas overcommit device VRAM");
+  }
   // Commit: none of the steps below can fail.
   release_guarantee_region(t);
   tenants_[t].vgpu = vgpu;
   assign_guarantee_region(t);
+  if (mem_) mem_->set_quota(t, vgpu.memory_bytes, vgpu.priority);
   poke();  // the controller re-plans under the new guarantees
 }
 
@@ -260,6 +316,12 @@ void ServingSim::remove_tenant(TenantId t) {
     // A half-assembled batch must not wait out a timer that may never
     // matter again: launch it now (partial) so the drain completes.
     close_batch(t);
+  }
+  if (mem_) {
+    // The weights stay resident while the drain needs them (the busy
+    // probe shields them), but the replica drops to the bottom of the
+    // eviction order and is freed outright when already idle.
+    mem_->retire_replica(t, busy_probe());
   }
   poke();
 }
@@ -385,17 +447,25 @@ void ServingSim::admit_batch(TenantId t, std::vector<TimeNs> arrivals) {
   if (!stopped_) {
     metrics_.tenants[t].batch_sizes.add(static_cast<double>(size));
   }
+  apply_memory_gates(job);
   jobs_.push_back(std::move(job));
 }
 
 void ServingSim::complete_ls_batch(TenantId t,
-                                   const std::vector<TimeNs>& arrivals) {
+                                   const std::vector<TimeNs>& arrivals,
+                                   bool cold) {
   auto& bs = *batch_[t];
   // Every request in the batch gets its own latency sample — completion
   // minus its OWN arrival, so assembly/queueing wait counts against the
   // SLO request by request.
   for (const TimeNs arrival : arrivals) {
-    if (!stopped_) metrics_.record_latency(t, arrival, now());
+    if (!stopped_) {
+      metrics_.record_latency(t, arrival, now());
+      if (cold) {
+        metrics_.tenants[t].cold_latency.add(
+            static_cast<double>(now() - arrival));
+      }
+    }
   }
   SGDRC_CHECK(bs.admitted_requests >= arrivals.size(),
               "batch completion underflows admitted-request count");
@@ -426,10 +496,127 @@ void ServingSim::admit(TenantId tenant, TimeNs arrival) {
   job.id = next_job_++;
   job.tenant = tenant;
   job.arrival = arrival;
+  apply_memory_gates(job);
   jobs_.push_back(job);
 }
 
+// ------------------------------------------------ memory virtualization ----
+
+bool ServingSim::tenant_busy(TenantId t) const {
+  if (t >= tenants_.size()) return false;
+  if (tenants_[t].qos == QosClass::kLatencySensitive && outstanding(t) > 0) {
+    return true;
+  }
+  for (const auto& j : jobs_) {
+    if (j.tenant == t && j.in_flight) return true;
+  }
+  return false;
+}
+
+memory::MemoryManager::BusyFn ServingSim::busy_probe() {
+  return [this](TenantId t) { return tenant_busy(t); };
+}
+
+void ServingSim::apply_memory_gates(Job& job) {
+  if (!mem_) return;
+  switch (mem_->residency(job.tenant)) {
+    case memory::Residency::kWarm:
+    case memory::Residency::kUnmodeled:
+      return;
+    case memory::Residency::kCold:
+    case memory::Residency::kLoading:
+      // Gated tenant-wide until the cold-start DMA lands (the load is
+      // started by ensure_residency on the next poke).
+      job.cold = true;
+      return;
+    case memory::Residency::kPaged: {
+      // Degraded mode: this request restreams the weights through the
+      // UVM staging window before it may launch.
+      job.cold = true;
+      if (!stopped_) {
+        metrics_.tenants[job.tenant].paged_requests +=
+            job.batch.empty() ? 1 : job.batch.size();
+      }
+      hold_job_for_paging(job.id, mem_->page_penalty(job.tenant));
+      return;
+    }
+  }
+}
+
+void ServingSim::hold_job_for_paging(JobId id, TimeNs penalty) {
+  held_jobs_.insert(id);
+  queue_.schedule_after(penalty, [this, id] {
+    held_jobs_.erase(id);
+    poke();
+  });
+}
+
+void ServingSim::ensure_residency() {
+  if (!mem_) return;
+  // Demand is what the scheduler could see modulo memory: start one
+  // cold-start DMA per demanded cold tenant, and retry promoting paged
+  // tenants to resident. kWaiting (strict mode, no capacity) is retried
+  // here on every poke — pokes fire on every completion, so the waiter
+  // makes progress as soon as memory frees.
+  for (const auto& j : jobs_) {
+    if (j.in_flight) continue;
+    const auto r = mem_->residency(j.tenant);
+    if (r != memory::Residency::kCold && r != memory::Residency::kPaged) {
+      continue;
+    }
+    if (!visible_rotation(j)) continue;
+    request_weights(j.tenant);
+  }
+}
+
+void ServingSim::request_weights(TenantId t) {
+  const auto touch = mem_->request(t, now(), busy_probe());
+  switch (touch.kind) {
+    case memory::MemoryManager::Touch::Kind::kLoadStarted:
+      if (!stopped_) ++metrics_.tenants[t].weight_loads;
+      queue_.schedule_after(touch.delay, [this, t] {
+        mem_->finish_load(t, now());
+        poke();
+      });
+      break;
+    case memory::MemoryManager::Touch::Kind::kPagedNow:
+      // The replica just degraded cold → paged: every job it already has
+      // in the system pays the per-request restream before launching.
+      for (auto& j : jobs_) {
+        if (j.tenant != t || j.in_flight || held_jobs_.count(j.id)) continue;
+        j.cold = true;
+        if (!stopped_) {
+          metrics_.tenants[t].paged_requests +=
+              j.batch.empty() ? 1 : j.batch.size();
+        }
+        hold_job_for_paging(j.id, touch.delay);
+      }
+      break;
+    case memory::MemoryManager::Touch::Kind::kReady:
+    case memory::MemoryManager::Touch::Kind::kLoading:
+    case memory::MemoryManager::Touch::Kind::kPagedStill:
+    case memory::MemoryManager::Touch::Kind::kWaiting:
+      break;
+  }
+}
+
+bool ServingSim::memory_ready(const Job& j) const {
+  if (!mem_) return true;
+  switch (mem_->residency(j.tenant)) {
+    case memory::Residency::kCold:
+    case memory::Residency::kLoading:
+      return false;
+    default:
+      break;
+  }
+  return held_jobs_.empty() || held_jobs_.count(j.id) == 0;
+}
+
 bool ServingSim::visible(const Job& j) const {
+  return visible_rotation(j) && memory_ready(j);
+}
+
+bool ServingSim::visible_rotation(const Job& j) const {
   // Removed-LS jobs stay visible so admitted work drains; removed-BE
   // loops vanish so the policy never relaunches them.
   if (qos_of(j) == QosClass::kLatencySensitive) return true;
@@ -617,8 +804,10 @@ control::ResourcePlan ServingSim::trace_policy(Policy& policy) {
 void ServingSim::launch(JobId id, LaunchSpec spec) {
   Job* job = job_ptr(id);
   SGDRC_REQUIRE(job != nullptr, "unknown job");
-  SGDRC_REQUIRE(visible(*job), "job is not resident (BE rotation)");
+  SGDRC_REQUIRE(visible(*job),
+                "job is not resident (BE rotation or weights not loaded)");
   SGDRC_REQUIRE(!job->in_flight, "job already has a kernel in flight");
+  if (mem_) mem_->note_use(job->tenant, now());
   const auto& model = model_of(*job);
   const gpusim::KernelDesc& k = model.kernels[job->cursor];
   // Guarantee bookkeeping: kernels landing inside a *different* tenant's
@@ -669,21 +858,28 @@ void ServingSim::finish_kernel(JobId id) {
     const TenantId tenant = job.tenant;
     // Erase before re-admitting: admit() push_backs into the deque,
     // which would invalidate `it`.
+    const bool cold = job.cold;
     if (!job.batch.empty()) {
       const std::vector<TimeNs> arrivals = std::move(job.batch);
       jobs_.erase(it);
-      complete_ls_batch(tenant, arrivals);
+      complete_ls_batch(tenant, arrivals, cold);
     } else {
       const TimeNs arrival = job.arrival;
       jobs_.erase(it);
-      complete_ls_job(tenant, arrival);
+      complete_ls_job(tenant, arrival, cold);
     }
   }
   poke();
 }
 
-void ServingSim::complete_ls_job(TenantId tenant, TimeNs arrival) {
-  if (!stopped_) metrics_.record_latency(tenant, arrival, now());
+void ServingSim::complete_ls_job(TenantId tenant, TimeNs arrival, bool cold) {
+  if (!stopped_) {
+    metrics_.record_latency(tenant, arrival, now());
+    if (cold) {
+      metrics_.tenants[tenant].cold_latency.add(
+          static_cast<double>(now() - arrival));
+    }
+  }
   // Hand the instance to the next queued request.
   if (!backlog_[tenant].empty()) {
     const TimeNs queued = backlog_[tenant].front();
@@ -701,6 +897,12 @@ void ServingSim::rotate_be(Job& job) {
   if (cfg_.be_mode == BeMode::kRoundRobin && active_[job.tenant] &&
       !be_tenants_.empty()) {
     be_resident_ = (be_resident_ + 1) % be_tenants_.size();
+  }
+  if (mem_ && mem_->residency(job.tenant) == memory::Residency::kPaged) {
+    // Paged BE tenant: every batch restreams the weights through the
+    // UVM window before its next launch.
+    if (!stopped_) ++metrics_.tenants[job.tenant].paged_requests;
+    hold_job_for_paging(job.id, mem_->page_penalty(job.tenant));
   }
 }
 
@@ -740,6 +942,9 @@ void ServingSim::poke() {
   in_schedule_ = true;
   do {
     repoke_ = false;
+    // Cold-start loads begin before the controller plans: a gated job
+    // never reaches the plan, and the DMA-completion event re-pokes.
+    ensure_residency();
     control::ResourcePlan plan = controller_->plan(control::SimView(*this));
     apply(plan);
   } while (repoke_);

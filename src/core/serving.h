@@ -16,6 +16,7 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "control/vgpu.h"
 #include "gpusim/executor.h"
 #include "gpusim/gpu_spec.h"
+#include "memory/memory.h"
 #include "models/model.h"
 #include "workload/metrics.h"
 #include "workload/tenant.h"
@@ -119,6 +121,12 @@ struct ServingConfig {
   /// Seed of this sim's private RNG stream. Fleets salt it per device
   /// (fleet::device_seed) so replicas never share a jitter stream.
   uint64_t seed = 0x5eed;
+  /// GPU memory virtualization (weight residency, cold starts,
+  /// eviction; src/memory). OFF by default — and even when enabled, a
+  /// device whose GpuSpec::vram_bytes is 0 (default-constructed specs)
+  /// stays *unmodeled*: memory charging is silently skipped, never an
+  /// instant OOM.
+  memory::MemoryOptions memory;
 };
 
 /// Resource allocation for one kernel launch. Zero means "all" for both
@@ -272,6 +280,18 @@ class ServingSim {
   /// fleets); policies and outer simulations draw jitter from it.
   Rng& rng() { return rng_; }
 
+  // ------------------------------------------------ memory read API ----
+  /// True when this device models VRAM capacity (memory virtualization
+  /// enabled AND the spec declares a non-zero vram_bytes).
+  bool memory_modeled() const { return mem_ != nullptr; }
+  /// Where tenant t's weights live (kUnmodeled on unmodeled devices).
+  /// Routers use this to prefer warm replicas.
+  memory::Residency residency_of(TenantId t) const {
+    return mem_ ? mem_->residency(t) : memory::Residency::kUnmodeled;
+  }
+  /// Null on unmodeled devices.
+  const memory::MemoryManager* memory_manager() const { return mem_.get(); }
+
   // ----------------------------------------- vGPU guarantee geometry ----
   /// The concrete TPC region backing tenant t's guarantee (0 when the
   /// tenant has none or was removed). LS regions are carved from the top
@@ -332,6 +352,10 @@ class ServingSim {
     /// Arrival time of every request in the batch (empty for ordinary
     /// single-request jobs); each gets its own latency sample.
     std::vector<TimeNs> batch;
+    /// The job found cold/paged weights when it entered the system: its
+    /// request latencies are also recorded into TenantMetrics::
+    /// cold_latency (the cold-start tail).
+    bool cold = false;
   };
 
   /// Per-tenant dynamic-batching state (only LS tenants with an enabled
@@ -361,6 +385,11 @@ class ServingSim {
     return j.model ? *j.model : tenants_[j.tenant].model;
   }
   bool visible(const Job& j) const;
+  /// The pre-memory visibility rule (LS always; BE per rotation/churn).
+  bool visible_rotation(const Job& j) const;
+  /// Memory gate: false while the tenant's weights are cold/loading, or
+  /// while this specific job serves out a demand-paging penalty.
+  bool memory_ready(const Job& j) const;
   JobView view_of(const Job& j) const;
   Job* job_ptr(JobId id);
   const Job* job_ptr(JobId id) const;
@@ -381,17 +410,34 @@ class ServingSim {
   void admit(TenantId tenant, TimeNs arrival);
   void admit_or_backlog(TenantId tenant, TimeNs arrival);
   void finish_kernel(JobId id);
-  void complete_ls_job(TenantId tenant, TimeNs arrival);
+  void complete_ls_job(TenantId tenant, TimeNs arrival, bool cold);
   // ---- dynamic batching ----
   void enqueue_for_batch(TenantId t, TimeNs arrival);
   /// Move the assembly queue into a batch job (or the ready queue when no
   /// instance is free); cancels the assembly timer. No-op when empty.
   void close_batch(TenantId t);
   void admit_batch(TenantId t, std::vector<TimeNs> arrivals);
-  void complete_ls_batch(TenantId t, const std::vector<TimeNs>& arrivals);
+  void complete_ls_batch(TenantId t, const std::vector<TimeNs>& arrivals,
+                         bool cold);
   void rotate_be(Job& job);
   void note_inflight(QosClass qos, int delta);
   void poke();
+  // ---- memory virtualization ----
+  /// GpuSpec::vram_bytes unless the MemoryOptions override is set.
+  uint64_t effective_vram() const;
+  /// True when tenant t has work in the system (jobs or admitted
+  /// requests) — the evictor must not yank weights out from under it.
+  bool tenant_busy(TenantId t) const;
+  memory::MemoryManager::BusyFn busy_probe();
+  /// Start cold-start loads for every tenant whose gated jobs demand
+  /// weights; called at the top of each poke so strict-mode waiters are
+  /// retried whenever anything completes.
+  void ensure_residency();
+  void request_weights(TenantId t);
+  /// Tag a freshly created job cold/paged and, for paged replicas,
+  /// schedule its per-request demand-paging penalty.
+  void apply_memory_gates(Job& job);
+  void hold_job_for_paging(JobId id, TimeNs penalty);
 
   ServingConfig cfg_;
   std::vector<TenantSpec> tenants_;
@@ -407,6 +453,12 @@ class ServingSim {
   EventQueue& queue_;
   Rng rng_;
   std::unique_ptr<gpusim::GpuExecutor> exec_;
+  /// Null unless memory virtualization is on AND the device's VRAM is
+  /// modeled (effective_vram() > 0).
+  std::unique_ptr<memory::MemoryManager> mem_;
+  /// Jobs serving out a demand-paging penalty (invisible until their
+  /// hold event fires).
+  std::set<JobId> held_jobs_;
   workload::ServingMetrics metrics_;
 
   std::deque<Job> jobs_;                 // BE loops first, then LS jobs
@@ -481,6 +533,11 @@ class ServingSimBuilder {
   }
   ServingSimBuilder& seed(uint64_t s) {
     cfg_.seed = s;
+    return *this;
+  }
+  /// Turn on GPU memory virtualization (weight residency + cold starts).
+  ServingSimBuilder& memory(const memory::MemoryOptions& opt) {
+    cfg_.memory = opt;
     return *this;
   }
   ServingSimBuilder& add_tenant(TenantSpec spec) {

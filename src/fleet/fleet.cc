@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace sgdrc::fleet {
 
@@ -57,6 +58,7 @@ core::ServingConfig FleetSim::device_config(DeviceId d) const {
   scfg.slo_multiplier = cfg_.slo_multiplier;
   scfg.be_mode = cfg_.be_mode;
   scfg.seed = device_seed(cfg_.seed, d);
+  scfg.memory = cfg_.memory;
   return scfg;
 }
 
@@ -305,6 +307,43 @@ double FleetMetrics::fleet_p99_ms() const {
     if (m.qos == QosClass::kLatencySensitive) all.add_all(m.latency);
   }
   return all.empty() ? 0.0 : to_ms(static_cast<TimeNs>(all.p99()));
+}
+
+uint64_t FleetMetrics::weight_loads() const {
+  uint64_t n = 0;
+  for (const auto& m : tenants) n += m.weight_loads;
+  return n;
+}
+
+uint64_t FleetMetrics::weight_evictions() const {
+  uint64_t n = 0;
+  for (const auto& m : tenants) n += m.weight_evictions;
+  return n;
+}
+
+uint64_t FleetMetrics::paged_requests() const {
+  uint64_t n = 0;
+  for (const auto& m : tenants) n += m.paged_requests;
+  return n;
+}
+
+uint64_t FleetMetrics::memory_trespasses() const {
+  uint64_t n = 0;
+  for (const auto& d : devices) n += d.memory_trespasses;
+  return n;
+}
+
+uint64_t FleetMetrics::cold_requests() const {
+  uint64_t n = 0;
+  for (const auto& m : tenants) n += m.cold_latency.count();
+  return n;
+}
+
+double FleetMetrics::cold_start_p99_ms() const {
+  Samples all;
+  for (const auto& m : tenants) all.add_all(m.cold_latency);
+  return all.empty() ? std::numeric_limits<double>::quiet_NaN()
+                     : to_ms(static_cast<TimeNs>(all.p99()));
 }
 
 double FleetMetrics::routed_mean() const {

@@ -47,6 +47,9 @@ struct FleetConfig {
   /// device's salted RNG stream, so replicas see independent jitter.
   TimeNs dispatch_latency = 0;
   TimeNs dispatch_jitter = 0;
+  /// GPU memory virtualization, forwarded to every device sim (weight
+  /// residency, cold-start loads, eviction; src/memory). OFF by default.
+  memory::MemoryOptions memory;
 };
 
 struct FleetMetrics {
@@ -71,6 +74,18 @@ struct FleetMetrics {
   double mean_attainment() const;  // over LS fleet tenants
   /// p99 latency (ms) over the union of all LS requests fleet-wide.
   double fleet_p99_ms() const;
+
+  // ---- memory-residency stats (all zero when memory modeling is off) ----
+  uint64_t weight_loads() const;
+  uint64_t weight_evictions() const;
+  uint64_t paged_requests() const;
+  /// Loads past a tenant's own declared memory quota, fleet-wide.
+  uint64_t memory_trespasses() const;
+  /// Requests that hit a cold or paged replica, fleet-wide.
+  uint64_t cold_requests() const;
+  /// p99 latency (ms) over the union of cold-start-gated requests; NaN
+  /// when none (every request found warm weights — the best outcome).
+  double cold_start_p99_ms() const;
 
   // ---- load-imbalance stats, over per-device routed counts ----
   double routed_mean() const;
@@ -162,6 +177,11 @@ class FleetSim {
   /// Requests a replica currently holds (admitted + backlogged).
   size_t outstanding(const Replica& r) const {
     return device(r.device).outstanding(r.local_tenant);
+  }
+  /// Where the replica's weights live (kUnmodeled when its device does
+  /// not model memory). The warm-weight router keys on this.
+  memory::Residency replica_residency(const Replica& r) const {
+    return device(r.device).residency_of(r.local_tenant);
   }
   /// Expected queued LS work on a device: Σ over its LS tenants of
   /// outstanding × isolated latency (ns of serialized work). Idle

@@ -128,32 +128,59 @@ Assignment QosAwarePlacement::place(
 Assignment QuotaAwarePlacement::place(
     const std::vector<FleetTenantSpec>& tenants, unsigned devices) const {
   SGDRC_REQUIRE(capacity_ >= 1, "quota bin capacity must be positive");
-  // First-fit-decreasing over guaranteed TPCs: place the biggest
-  // reservations while every bin is still roomy, then balance the
-  // unguaranteed tenants onto whatever headroom is left.
+  const uint64_t cb = capacity_bytes_;  // 0 = byte dimension disabled
+  // A replica's expected VRAM footprint: its declared memory quota when
+  // it has one, else its model's weight bytes (weights occupy VRAM when
+  // resident whether or not the tenant reserved them).
+  const auto demand_bytes = [&](size_t t) -> uint64_t {
+    if (cb == 0) return 0;
+    const auto& spec = tenants[t].spec;
+    return spec.vgpu.memory_bytes ? spec.vgpu.memory_bytes
+                                  : spec.model.weight_bytes();
+  };
+  // First-fit-decreasing over (guaranteed TPCs, VRAM bytes) — decreasing
+  // in the dominant normalized dimension, the classic vector-bin-packing
+  // reduction: place the biggest reservations while every bin is still
+  // roomy, then balance the unguaranteed tenants onto whatever headroom
+  // is left. With cb == 0 the key degenerates to guaranteed TPCs and the
+  // order (ties included) matches the TPC-only policy exactly.
+  const auto sort_key = [&](size_t t) {
+    const double g =
+        static_cast<double>(tenants[t].spec.vgpu.guaranteed_tpcs) / capacity_;
+    const double m =
+        cb ? static_cast<double>(demand_bytes(t)) / static_cast<double>(cb)
+           : 0.0;
+    return std::max(g, m);
+  };
   std::vector<size_t> order(tenants.size());
   for (size_t t = 0; t < order.size(); ++t) order[t] = t;
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return tenants[a].spec.vgpu.guaranteed_tpcs >
-           tenants[b].spec.vgpu.guaranteed_tpcs;
+    return sort_key(a) > sort_key(b);
   });
 
   std::vector<unsigned> reserved(devices, 0);  // guaranteed TPCs per bin
+  std::vector<uint64_t> bytes(devices, 0);     // placed VRAM demand per bin
   std::vector<unsigned> count(devices, 0);     // replicas per bin
   Assignment out(tenants.size());
   for (const size_t t : order) {
     const unsigned g = tenants[t].spec.vgpu.guaranteed_tpcs;
+    const uint64_t mb = cb ? tenants[t].spec.vgpu.memory_bytes : 0;
+    const uint64_t db = demand_bytes(t);
     std::vector<bool> used(devices, false);
     for (unsigned r = 0; r < clamped_replicas(tenants[t], devices); ++r) {
       const auto headroom = [&](DeviceId x) {
         return capacity_ > reserved[x] ? capacity_ - reserved[x] : 0u;
       };
+      const auto byte_headroom = [&](DeviceId x) {
+        return cb > bytes[x] ? cb - bytes[x] : uint64_t{0};
+      };
       DeviceId best = 0;
       bool have = false;
-      if (g > 0) {
-        // First fit with room for the reservation.
+      if (g > 0 || mb > 0) {
+        // First fit with room for the reservation in both dimensions.
         for (DeviceId d = 0; d < devices && !have; ++d) {
-          if (!used[d] && reserved[d] + g <= capacity_) {
+          if (!used[d] && reserved[d] + g <= capacity_ &&
+              (cb == 0 || bytes[d] + db <= cb)) {
             best = d;
             have = true;
           }
@@ -162,12 +189,16 @@ Assignment QuotaAwarePlacement::place(
       if (!have) {
         // Unguaranteed replicas — and guaranteed ones no bin can hold
         // (the device sim rejects truly overcommitted reservations at
-        // add time, loudly) — go to the most unreserved headroom,
-        // breaking ties toward the fewest replicas, then the lowest id.
+        // add time, loudly) — go to the most unreserved TPC headroom,
+        // breaking ties toward the most byte headroom, then the fewest
+        // replicas, then the lowest id.
         for (DeviceId d = 0; d < devices; ++d) {
           if (used[d]) continue;
           if (!have || headroom(d) > headroom(best) ||
-              (headroom(d) == headroom(best) && count[d] < count[best])) {
+              (headroom(d) == headroom(best) &&
+               (byte_headroom(d) > byte_headroom(best) ||
+                (byte_headroom(d) == byte_headroom(best) &&
+                 count[d] < count[best])))) {
             best = d;
             have = true;
           }
@@ -176,6 +207,7 @@ Assignment QuotaAwarePlacement::place(
       SGDRC_CHECK(have, "quota placement found no device");
       used[best] = true;
       reserved[best] += g;
+      bytes[best] += db;
       ++count[best];
       out[t].push_back(best);
     }

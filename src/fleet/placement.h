@@ -81,24 +81,32 @@ class QosAwarePlacement : public PlacementPolicy {
                    unsigned devices) const override;
 };
 
-/// Bin-pack by guaranteed vGPU TPCs (the ParvaGPU-style spatial-quota
-/// unit): guaranteed replicas go first-fit-decreasing against each
-/// device's TPC budget, so no device's hard reservations overcommit its
-/// SMs (a ServingSim would reject such a replica set outright);
-/// unguaranteed replicas then balance the residual TPC headroom,
-/// preferring devices with the most unreserved SMs. Ties break toward
-/// the lowest device id, keeping placements deterministic.
+/// Bin-pack by guaranteed vGPU quotas (the ParvaGPU-style spatial-quota
+/// unit), now two-dimensional — (TPCs, VRAM bytes): guaranteed replicas
+/// go first-fit-decreasing (decreasing in their dominant normalized
+/// dimension) against each device's TPC and byte budgets, so no
+/// device's hard reservations overcommit its SMs or its VRAM (a
+/// ServingSim would reject such a replica set outright); unguaranteed
+/// replicas then balance the residual headroom — TPCs first, VRAM bytes
+/// on ties. A replica's byte demand is its VgpuSpec::memory_bytes quota
+/// when declared, else its model's weight footprint. Ties break toward
+/// the fewest replicas, then the lowest device id, keeping placements
+/// deterministic. With `vram_bytes == 0` (the default) the byte
+/// dimension vanishes and placements match the TPC-only policy exactly.
 class QuotaAwarePlacement : public PlacementPolicy {
  public:
-  /// `tpcs_per_device` is the bin capacity (GpuSpec::num_tpcs).
-  explicit QuotaAwarePlacement(unsigned tpcs_per_device)
-      : capacity_(tpcs_per_device) {}
+  /// `tpcs_per_device` is the TPC bin capacity (GpuSpec::num_tpcs);
+  /// `vram_bytes` the byte bin capacity (0 = don't bin-pack memory).
+  explicit QuotaAwarePlacement(unsigned tpcs_per_device,
+                               uint64_t vram_bytes = 0)
+      : capacity_(tpcs_per_device), capacity_bytes_(vram_bytes) {}
   std::string name() const override { return "quota-aware"; }
   Assignment place(const std::vector<FleetTenantSpec>& tenants,
                    unsigned devices) const override;
 
  private:
   unsigned capacity_;
+  uint64_t capacity_bytes_;
 };
 
 /// Check an assignment is well-formed: one entry per tenant,

@@ -53,4 +53,24 @@ size_t QosLoadAwareRouter::route(const FleetSim& fleet, unsigned tenant,
   });
 }
 
+size_t WarmWeightRouter::route(const FleetSim& fleet, unsigned tenant,
+                               const std::vector<Replica>& replicas) {
+  return rotated_min(cursor_, tenant, replicas.size(), [&](size_t i) {
+    size_t penalty = 0;
+    switch (fleet.replica_residency(replicas[i])) {
+      case memory::Residency::kWarm:
+      case memory::Residency::kUnmodeled:
+        break;
+      case memory::Residency::kLoading:
+        penalty = cold_penalty_ / 2;  // weights land shortly
+        break;
+      case memory::Residency::kCold:
+      case memory::Residency::kPaged:
+        penalty = cold_penalty_;
+        break;
+    }
+    return fleet.outstanding(replicas[i]) + penalty;
+  });
+}
+
 }  // namespace sgdrc::fleet

@@ -87,4 +87,31 @@ class QosLoadAwareRouter : public Router {
   std::vector<size_t> cursor_;
 };
 
+/// Residency-aware routing for memory-virtualized fleets: prefer the
+/// replica whose weights are warm. Score = outstanding requests plus a
+/// cold penalty (half for a replica mid-load — it will be warm shortly,
+/// full for cold/paged), so a warm replica absorbs up to `cold_penalty`
+/// extra queued requests before the router warms a second one — the
+/// knob trades queueing delay against cold-start DMAs. Keep it near
+/// load_time / service_time: much higher and a hot service pins to one
+/// replica, queueing right up to the spill threshold without ever
+/// warming its second copy. On devices without memory modeling every
+/// replica reads kUnmodeled (= warm) and this degrades to exactly
+/// LeastOutstandingRouter. Ties rotate.
+class WarmWeightRouter : public Router {
+ public:
+  explicit WarmWeightRouter(size_t cold_penalty = 3)
+      : cold_penalty_(cold_penalty) {}
+  std::string name() const override { return "warm-weight"; }
+  void reset(size_t fleet_tenants) override {
+    cursor_.assign(fleet_tenants, 0);
+  }
+  size_t route(const FleetSim& fleet, unsigned tenant,
+               const std::vector<Replica>& replicas) override;
+
+ private:
+  size_t cold_penalty_;
+  std::vector<size_t> cursor_;
+};
+
 }  // namespace sgdrc::fleet

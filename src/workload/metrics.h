@@ -50,6 +50,18 @@ struct TenantMetrics {
   /// Empty when the tenant does not batch.
   Samples batch_sizes;
 
+  // ---- memory-residency family (devices with memory modeling on) ----
+  /// Cold-start weight loads (host→device DMA) charged to this tenant.
+  uint64_t weight_loads = 0;
+  /// Times this tenant's resident weights were evicted under pressure.
+  uint64_t weight_evictions = 0;
+  /// Requests served in the demand-paging degraded mode.
+  uint64_t paged_requests = 0;
+  /// End-to-end latency (ns) of the requests that hit a cold or paged
+  /// replica — the cold-start tail the memory bench reports the p99 of.
+  /// A subset of `latency`; empty when every request found warm weights.
+  Samples cold_latency;
+
   // ---- best-effort family ----
   unsigned batch = 1;
   uint64_t batches_completed = 0;
@@ -73,12 +85,16 @@ struct TenantMetrics {
     SGDRC_REQUIRE(qos == replica.qos, "absorbing across QoS classes");
     latency.add_all(replica.latency);
     batch_sizes.add_all(replica.batch_sizes);
+    cold_latency.add_all(replica.cold_latency);
     arrived += replica.arrived;
     served += replica.served;
     attained += replica.attained;
     batches_completed += replica.batches_completed;
     kernels_done += replica.kernels_done;
     evictions += replica.evictions;
+    weight_loads += replica.weight_loads;
+    weight_evictions += replica.weight_evictions;
+    paged_requests += replica.paged_requests;
   }
 };
 
@@ -128,6 +144,11 @@ struct ServingMetrics {
   /// enforcer, so a non-zero count exposes a guarantee-blind legacy
   /// policy running against guaranteed tenants.
   uint64_t guarantee_violations = 0;
+  /// Weight loads that pushed a tenant past its own declared
+  /// VgpuSpec::memory_bytes quota (memory virtualization; quotas are
+  /// guarantees, not caps, so the load proceeds but is counted — the
+  /// memory analogue of guarantee_violations).
+  uint64_t memory_trespasses = 0;
 
   /// Tenants of one class, in TenantId order (stable across runs of the
   /// same spec list, so results can be joined tenant-by-tenant).

@@ -76,6 +76,12 @@ Scenario& Scenario::batch_ls(BatchPolicy policy) {
   return *this;
 }
 
+Scenario& Scenario::memory(memory::MemoryOptions opt) {
+  SGDRC_REQUIRE(opt.enabled, "Scenario::memory needs an enabled config");
+  memory_ = opt;
+  return *this;
+}
+
 // ------------------------------------------------------------ compiler ----
 
 namespace {
@@ -238,6 +244,12 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
   fcfg.seed = cfg.seed;
   fcfg.dispatch_latency = cfg.dispatch_latency;
   fcfg.dispatch_jitter = cfg.dispatch_jitter;
+  // The scenario's own memory script wins only when armed, so the seven
+  // memory-less stock scenarios replay bit-identically whatever the
+  // catalog options carry for model-zoo.
+  fcfg.memory =
+      scenario.memory_options().enabled ? scenario.memory_options()
+                                        : cfg.memory;
 
   // Scenario-wide LS batching: arm every LS tenant that does not declare
   // its own policy (initial and arriving alike), so one catalog entry
@@ -375,6 +387,37 @@ std::vector<Scenario> scenario_catalog(const ScenarioCatalogOptions& opt) {
         .rate(Scenario::kAllServices, (2 * d) / 5, 3.0)
         .rate(Scenario::kAllServices, (7 * d) / 10, 1.0);
     out.push_back(std::move(batching));
+  }
+
+  {
+    // The weight-residency axis: far more registered models than fit
+    // resident at once. Services arrive throughout the run while early
+    // ones cool off or depart, so the hot set keeps shifting and the
+    // memory layer must keep re-deciding which weights stay warm.
+    Scenario zoo("model-zoo",
+                 "high-churn model fleet under VRAM pressure: services "
+                 "arrive all run while early ones cool or depart",
+                 d);
+    zoo.devices(opt.devices);
+    if (opt.model_zoo_memory.enabled) zoo.memory(opt.model_zoo_memory);
+    if (opt.make_ls_arrival) {
+      SGDRC_REQUIRE(opt.initial_tenants > 0,
+                    "scenario_catalog needs initial_tenants when model-zoo "
+                    "arrivals are scripted");
+      zoo.arrive(d / 6, opt.make_ls_arrival(2));
+      zoo.arrive(d / 3, opt.make_ls_arrival(3));
+      zoo.arrive(d / 2, opt.make_ls_arrival(4));
+      zoo.arrive((2 * d) / 3, opt.make_ls_arrival(5));
+      // Early services fade as the newcomers heat up: initial services
+      // 0 and 1 cool to a trickle (cold enough to become eviction
+      // candidates, warm enough to keep paying cold starts if their
+      // weights get dropped), and the first two arrivals depart.
+      zoo.rate(0, d / 3, 0.1);
+      zoo.rate(1, d / 2, 0.1);
+      zoo.depart((5 * d) / 12, opt.initial_tenants);
+      zoo.depart((3 * d) / 4, opt.initial_tenants + 1);
+    }
+    out.push_back(std::move(zoo));
   }
 
   return out;

@@ -81,6 +81,11 @@ class Scenario {
   /// one catalog entry turns the throughput-for-latency trade on for
   /// every system under test identically.
   Scenario& batch_ls(BatchPolicy policy);
+  /// Model GPU memory on every device of the run (weight residency,
+  /// cold-start loads, eviction; src/memory) — the scenario-level switch
+  /// the stock `model-zoo` scenario uses. Overrides the engine-config
+  /// default only when `opt.enabled`; other scenarios stay untouched.
+  Scenario& memory(memory::MemoryOptions opt);
 
   // ------------------------------------------------------- accessors ----
   struct RateStep {
@@ -113,6 +118,8 @@ class Scenario {
   bool autoscaled() const { return autoscale_; }
   /// The scenario-wide LS batching policy (disabled unless batch_ls()).
   const BatchPolicy& ls_batch_policy() const { return ls_batching_; }
+  /// The scenario-wide memory model (disabled unless memory()).
+  const memory::MemoryOptions& memory_options() const { return memory_; }
   const fleet::AutoscalerOptions& autoscaler_options() const {
     return autoscaler_opt_;
   }
@@ -131,7 +138,8 @@ class Scenario {
   unsigned devices_ = 2;
   bool autoscale_ = false;
   fleet::AutoscalerOptions autoscaler_opt_;
-  BatchPolicy ls_batching_;  // default: disabled
+  BatchPolicy ls_batching_;        // default: disabled
+  memory::MemoryOptions memory_;   // default: disabled
   std::vector<RateStep> rate_steps_;
   std::vector<Arrival> arrivals_;
   std::vector<Departure> departures_;
@@ -154,6 +162,9 @@ struct ScenarioEngineConfig {
   /// Trace shape knobs (forwarded to generate_apollo_like_trace).
   double burstiness = 0.35;
   TimeNs frame_interval = 10 * kNsPerMs;
+  /// Fleet-wide memory model default (OFF). A scenario that calls
+  /// Scenario::memory() with an enabled config overrides this.
+  memory::MemoryOptions memory;
 };
 
 struct ScenarioOutcome {
@@ -193,11 +204,16 @@ struct ScenarioCatalogOptions {
   unsigned initial_tenants = 0;
   std::function<ScenarioTenant(unsigned)> make_ls_arrival;
   std::function<ScenarioTenant(unsigned)> make_be_arrival;
+  /// Memory model for the `model-zoo` scenario (high-churn fleet under
+  /// VRAM pressure). Leave disabled to get the scenario without memory
+  /// modeling (it then degenerates to a churn workload).
+  memory::MemoryOptions model_zoo_memory;
 };
 
-/// The stock library of ~6 named dynamic scenarios: steady, diurnal,
+/// The stock library of ~8 named dynamic scenarios: steady, diurnal,
 /// flash-crowd (5× spike + autoscaler), tenant-churn, BE-backfill-surge,
-/// and SLO-tighten.
+/// SLO-tighten, batching, and model-zoo (weight residency under VRAM
+/// pressure).
 std::vector<Scenario> scenario_catalog(const ScenarioCatalogOptions& opt);
 
 }  // namespace sgdrc::workload

@@ -72,6 +72,14 @@ void expect_identical(const workload::ServingMetrics& a,
       EXPECT_EQ(x.latency.p99(), y.latency.p99())
           << system << " tenant " << t;
     }
+    // Memory-residency counters (all zero on memory-less runs).
+    EXPECT_EQ(x.weight_loads, y.weight_loads) << system << " tenant " << t;
+    EXPECT_EQ(x.weight_evictions, y.weight_evictions)
+        << system << " tenant " << t;
+    EXPECT_EQ(x.paged_requests, y.paged_requests)
+        << system << " tenant " << t;
+    ASSERT_EQ(x.cold_latency.count(), y.cold_latency.count())
+        << system << " tenant " << t;
   }
 }
 
@@ -109,6 +117,63 @@ TEST_P(ConformanceTest, SharedInvariantsHold) {
   // Bit-identical rerun: fresh controller, fresh sim, same seed.
   const auto controller2 = sys.make(h.options().spec);
   auto sim2 = build_mini_sim(h, *controller2, sys.uses_spt);
+  expect_identical(m, sim2->run(h.trace()), sys.name);
+}
+
+TEST_P(ConformanceTest, InvariantsHoldUnderResidencyChurn) {
+  // The same mini scenario with GPU memory modeled and the VRAM squeezed
+  // so the registered footprint (LS A+B plus the big BE models I+J) does
+  // not fit at once: weights load, evict, and page while every system
+  // schedules. The substrate invariants — conservation, LS inviolability,
+  // bit-identical reruns — must survive the churn on every controller.
+  const auto& sys = baselines::system_registry()[GetParam()];
+  const ServingHarness& h = mini_harness();
+
+  memory::MemoryOptions mem;
+  mem.enabled = true;
+  mem.vram_bytes_override = 256ull << 20;
+  mem.oversubscribe = true;
+
+  const auto build = [&](control::Controller& controller) {
+    ServingSimBuilder b;
+    b.gpu(h.options().spec)
+        .duration(h.options().duration)
+        .slo_multiplier(static_cast<double>(h.ls_count() + 1))
+        .memory(mem);
+    for (size_t i = 0; i < h.ls_count(); ++i) {
+      b.add_latency_sensitive(sys.uses_spt ? h.ls_model_spt(i)
+                                           : h.ls_model(i),
+                              h.isolated_latency(i));
+    }
+    for (size_t i = 0; i < h.be_count(); ++i) {
+      b.add_best_effort(sys.uses_spt ? h.be_model_spt(i) : h.be_model(i));
+    }
+    return b.build(controller);
+  };
+
+  const auto controller = sys.make(h.options().spec);
+  auto sim = build(*controller);
+  ASSERT_TRUE(sim->memory_modeled()) << sys.name;
+  const auto m = sim->run(h.trace());
+
+  uint64_t total_served = 0, total_loads = 0;
+  for (workload::TenantId t = 0; t < m.tenants.size(); ++t) {
+    const auto& tm = m.tenants[t];
+    total_loads += tm.weight_loads;
+    if (tm.qos != workload::QosClass::kLatencySensitive) continue;
+    EXPECT_EQ(tm.evictions, 0u) << sys.name;
+    EXPECT_EQ(tm.arrived, tm.served + sim->outstanding(t)) << sys.name;
+    EXPECT_EQ(tm.served, tm.latency.count()) << sys.name;
+    // Cold-start-gated requests are a subset of all served requests.
+    EXPECT_LE(tm.cold_latency.count(), tm.latency.count()) << sys.name;
+    total_served += tm.served;
+  }
+  EXPECT_GT(total_served, 0u) << sys.name;
+  // The squeeze is real: somebody had to load weights.
+  EXPECT_GT(total_loads, 0u) << sys.name;
+
+  const auto controller2 = sys.make(h.options().spec);
+  auto sim2 = build(*controller2);
   expect_identical(m, sim2->run(h.trace()), sys.name);
 }
 

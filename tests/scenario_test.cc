@@ -339,7 +339,7 @@ TEST(ScenarioRun, AutoscalerConvergesOnFlashCrowd) {
   EXPECT_GT(last.at, up->at);
 }
 
-TEST(ScenarioCatalog, ShipsTheSevenStockScenarios) {
+TEST(ScenarioCatalog, ShipsTheEightStockScenarios) {
   const auto& z = zoo();
   ScenarioCatalogOptions opt;
   opt.duration = 500 * kNsPerMs;
@@ -353,7 +353,7 @@ TEST(ScenarioCatalog, ShipsTheSevenStockScenarios) {
     return ScenarioTenant{best_effort_tenant(z.be_i), 0.0, 1};
   };
   const auto catalog = scenario_catalog(opt);
-  ASSERT_EQ(catalog.size(), 7u);
+  ASSERT_EQ(catalog.size(), 8u);
   EXPECT_EQ(catalog[0].name(), "steady");
   EXPECT_EQ(catalog[1].name(), "diurnal");
   EXPECT_EQ(catalog[2].name(), "flash-crowd");
@@ -367,6 +367,12 @@ TEST(ScenarioCatalog, ShipsTheSevenStockScenarios) {
   EXPECT_EQ(catalog[6].name(), "batching");
   EXPECT_TRUE(catalog[6].ls_batch_policy().enabled());
   EXPECT_EQ(catalog[6].ls_batch_policy().max_batch, 8u);
+  EXPECT_EQ(catalog[7].name(), "model-zoo");
+  EXPECT_EQ(catalog[7].arrivals().size(), 4u);
+  EXPECT_EQ(catalog[7].departures().size(), 2u);
+  // No model_zoo_memory in the options: the scenario ships without a
+  // memory override (and run_scenario then uses the engine default).
+  EXPECT_FALSE(catalog[7].memory_options().enabled);
   for (const auto& sc : catalog) {
     EXPECT_EQ(sc.duration(), opt.duration);
     EXPECT_FALSE(sc.description().empty());

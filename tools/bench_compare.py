@@ -28,6 +28,7 @@ baselines when you want the gate to hold the new line:
     ./scenario_sweep   --quick --json bench/baselines/BENCH_scenarios.json
     ./vgpu_isolation   --quick --json bench/baselines/BENCH_vgpu.json
     ./batching_sweep   --quick --json bench/baselines/BENCH_batching.json
+    ./memory_pressure  --quick --json bench/baselines/BENCH_memory.json
 
 Override: label the PR `perf-gate-override` (documented in README) to
 skip the gate on the PR run for intentional regressions. The label
@@ -104,12 +105,33 @@ def records_batching(doc):
         }
 
 
+def records_memory(doc):
+    """memory_pressure: one record per (pressure ratio, system), plus a
+    cold-start sub-record gating the headline tail. `slo_ok` is gated only
+    for the quota-aware stack (the naive FIFO baseline is *meant* to blow
+    its SLO under pressure); `cold_start_p99_ms` is null when no request
+    hit cold weights — the best outcome, handled by the gate's
+    null-propagation rules (a baseline number turning null is data loss
+    only for `att`, while p99 comparisons simply skip)."""
+    for cell in doc.get("cells", []):
+        key = ("memory", cell["pressure"], cell["system"])
+        yield key, {
+            "p99_ms": cell.get("p99_ms"),
+            "be": cell.get("goodput_per_s"),
+            "ok": cell.get("slo_ok") if "quota" in cell.get("system", "")
+                  else None,
+            "att": cell.get("attainment"),
+        }
+        yield key + ("cold",), {"p99_ms": cell.get("cold_start_p99_ms")}
+
+
 EXTRACTORS = {
     "fleet_scaling": records_fleet,
     "fig17_end_to_end": records_fig17,
     "scenario_sweep": records_scenarios,
     "vgpu_isolation": records_vgpu,
     "batching_sweep": records_batching,
+    "memory_pressure": records_memory,
 }
 
 

@@ -35,14 +35,35 @@ BASELINE_VGPU = {
 }
 
 
-def run_gate(baseline, current):
+BASELINE_MEMORY = {
+    "bench": "memory_pressure",
+    "quick": True,
+    "duration_ms": 300.0,
+    "sgdrc_cold_p99_wins": 2,
+    "compared_pressures": 2,
+    "cells": [
+        {"pressure": 2.0, "vram_mb": 80.0, "system": "SGDRC (memory-quota)",
+         "p99_ms": 14.4, "cold_start_p99_ms": 10.1, "cold_requests": 12,
+         "weight_loads": 45, "weight_evictions": 33, "paged_requests": 0,
+         "goodput_per_s": 4100.0, "attainment": 0.99, "slo_ok": True,
+         "memory_trespasses": 0, "requests": 1300},
+        {"pressure": 2.0, "vram_mb": 80.0, "system": "Naive (resident-FIFO)",
+         "p99_ms": 96.2, "cold_start_p99_ms": 162.5, "cold_requests": 400,
+         "weight_loads": 1332, "weight_evictions": 1320, "paged_requests": 0,
+         "goodput_per_s": 2500.0, "attainment": 0.61, "slo_ok": False,
+         "memory_trespasses": 0, "requests": 1300},
+    ],
+}
+
+
+def run_gate(baseline, current, name="BENCH_vgpu.json"):
     with tempfile.TemporaryDirectory() as tmp:
         bdir = pathlib.Path(tmp) / "baseline"
         cdir = pathlib.Path(tmp) / "current"
         bdir.mkdir()
         cdir.mkdir()
-        (bdir / "BENCH_vgpu.json").write_text(json.dumps(baseline))
-        (cdir / "BENCH_vgpu.json").write_text(json.dumps(current))
+        (bdir / name).write_text(json.dumps(baseline))
+        (cdir / name).write_text(json.dumps(current))
         proc = subprocess.run(
             [sys.executable, str(GATE), str(bdir), str(cdir)],
             capture_output=True, text=True)
@@ -103,6 +124,53 @@ def main():
     cur["cells"][1]["slo_ok"] = True
     rc, out = run_gate(BASELINE_VGPU, cur)
     checks.append(expect("non-quota slo_ok change passes", rc, out, False))
+
+    # ---- memory_pressure extractor ----
+    mem = "BENCH_memory.json"
+    rc, out = run_gate(BASELINE_MEMORY, BASELINE_MEMORY, name=mem)
+    checks.append(expect("memory: identical output passes", rc, out, False))
+
+    cur = copy.deepcopy(BASELINE_MEMORY)
+    cur["cells"][0]["cold_start_p99_ms"] = 50.0  # +395%
+    rc, out = run_gate(BASELINE_MEMORY, cur, name=mem)
+    checks.append(expect("memory: cold-start p99 regression fails", rc, out,
+                         True, "cold"))
+
+    # The quota stack keeping every request warm is an *improvement*: the
+    # cold p99 lapses to null and the p99 comparison simply skips.
+    cur = copy.deepcopy(BASELINE_MEMORY)
+    cur["cells"][0]["cold_start_p99_ms"] = None
+    cur["cells"][0]["cold_requests"] = 0
+    rc, out = run_gate(BASELINE_MEMORY, cur, name=mem)
+    checks.append(expect("memory: cold p99 -> null (no cold) passes", rc,
+                         out, False))
+
+    cur = copy.deepcopy(BASELINE_MEMORY)
+    cur["cells"][0]["slo_ok"] = None
+    cur["cells"][0]["attainment"] = None
+    rc, out = run_gate(BASELINE_MEMORY, cur, name=mem)
+    checks.append(expect("memory: quota slo_ok true -> null fails", rc, out,
+                         True, "no-data now"))
+
+    # The naive baseline is expected to blow its SLO; its slo_ok is
+    # informational and must not arm the pass/fail gate.
+    cur = copy.deepcopy(BASELINE_MEMORY)
+    cur["cells"][1]["slo_ok"] = True
+    rc, out = run_gate(BASELINE_MEMORY, cur, name=mem)
+    checks.append(expect("memory: naive slo_ok change passes", rc, out,
+                         False))
+
+    cur = copy.deepcopy(BASELINE_MEMORY)
+    cur["cells"][0]["goodput_per_s"] = 2000.0  # -51%
+    rc, out = run_gate(BASELINE_MEMORY, cur, name=mem)
+    checks.append(expect("memory: goodput drop fails", rc, out, True,
+                         "throughput"))
+
+    cur = copy.deepcopy(BASELINE_MEMORY)
+    del cur["cells"][1]
+    rc, out = run_gate(BASELINE_MEMORY, cur, name=mem)
+    checks.append(expect("memory: shrunk coverage fails", rc, out, True,
+                         "missing from current output"))
 
     if not all(checks):
         print("bench_compare selftest FAILED")

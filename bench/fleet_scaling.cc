@@ -6,15 +6,25 @@
 // where placement/routing choices bend the curve and that SGDRC per
 // device beats the baseline fleet-wide at every size.
 //
+// A second section benchmarks the sharded engine itself: 256-device
+// (quick) to 1024-device (full) fleets run once serially and once on
+// the thread pool (FleetOptions::parallel), reporting events/sec,
+// sim-seconds per wall-second, the parallel speedup, and — the hard
+// gate — whether the parallel run reproduced the serial results
+// bit-for-bit (docs/fleet-engine.md).
+//
 //   ./fleet_scaling [--quick] [--json BENCH_fleet.json] [--seed N]
 //
 // --quick shrinks the sweep for CI smoke runs; --json emits the full
 // result grid machine-readably (the BENCH_fleet.json artifact).
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_cli.h"
@@ -123,7 +133,97 @@ std::vector<workload::Request> make_trace(const core::ServingHarness& h,
   return workload::generate_apollo_like_trace(topt);
 }
 
+// ------------------------------------- sharded-engine throughput ----
+
+struct ThroughputResult {
+  unsigned devices = 0;
+  unsigned threads = 0;       // parallel pool width
+  TimeNs sim_duration = 0;
+  uint64_t events = 0;        // engine events per run (serial == parallel)
+  double serial_wall_ms = 0.0;
+  double parallel_wall_ms = 0.0;
+  bool matches_serial = false;  // parallel reproduced serial bit-for-bit
+
+  double speedup() const {
+    return parallel_wall_ms > 0.0 ? serial_wall_ms / parallel_wall_ms : 0.0;
+  }
+  static double events_per_s(uint64_t events, double wall_ms) {
+    return wall_ms > 0.0 ? 1e3 * static_cast<double>(events) / wall_ms : 0.0;
+  }
+  /// Simulated seconds advanced per wall-clock second.
+  static double sim_per_wall(TimeNs sim, double wall_ms) {
+    return wall_ms > 0.0 ? to_ms(sim) / wall_ms : 0.0;
+  }
+};
+
+/// Bit-exact fingerprint of a run — counters, router decisions, and raw
+/// latency samples — mirroring tests/fleet_parallel_test.cc. Serial and
+/// parallel must produce equal fingerprints (the matches_serial gate).
+std::string fingerprint(const FleetMetrics& m) {
+  std::ostringstream os;
+  os.precision(17);
+  os << m.events << '|';
+  for (const uint64_t r : m.routed) os << r << ',';
+  for (const auto& t : m.tenants) {
+    os << '|' << t.arrived << ':' << t.served << ':' << t.attained << ':'
+       << t.kernels_done << ':';
+    for (const auto s : t.latency.raw()) os << s << ' ';
+  }
+  return os.str();
+}
+
+ThroughputResult run_throughput(const core::ServingHarness& h,
+                                unsigned devices, TimeNs duration,
+                                uint64_t seed, unsigned threads) {
+  // The blind-router configuration is the throughput showcase: the
+  // round-robin window lets dispatches coalesce, so the engine
+  // barriers at control spacing instead of per dispatch.
+  const RunSpec spec{devices, "spread", "round-robin", "SGDRC"};
+  const auto trace = make_trace(h, devices, duration, seed);
+
+  ThroughputResult out;
+  out.devices = devices;
+  out.threads = threads;
+  out.sim_duration = duration;
+
+  std::string prints[2];
+  for (const bool parallel : {false, true}) {
+    const auto& sys = baselines::system(spec.system);
+    FleetConfig cfg;
+    cfg.spec = h.options().spec;
+    cfg.exec_params = h.options().exec_params;
+    cfg.devices = devices;
+    cfg.duration = duration;
+    cfg.slo_multiplier = static_cast<double>(h.ls_count() + 1);
+    cfg.seed = seed;
+    cfg.dispatch_latency = 2 * kNsPerUs;
+    cfg.dispatch_jitter = 3 * kNsPerUs;
+    cfg.engine.parallel = parallel;
+    cfg.engine.threads = threads;
+    const auto placement = make_placement(spec.placement);
+    const auto router = make_router(spec.router);
+    FleetSim sim(cfg, make_tenants(h, devices, sys.uses_spt), *placement,
+                 *router, sys.make);
+    const auto start = std::chrono::steady_clock::now();
+    const FleetMetrics m = sim.run(trace);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    prints[parallel ? 1 : 0] = fingerprint(m);
+    if (parallel) {
+      out.parallel_wall_ms = wall_ms;
+    } else {
+      out.serial_wall_ms = wall_ms;
+      out.events = m.events;
+    }
+  }
+  out.matches_serial = prints[0] == prints[1];
+  return out;
+}
+
 void emit_json(const std::string& path, const std::vector<RunResult>& all,
+               const std::vector<ThroughputResult>& throughput,
                TimeNs duration, bool quick) {
   std::ofstream os(path);
   SGDRC_REQUIRE(os.good(), "cannot open JSON output path");
@@ -164,8 +264,38 @@ void emit_json(const std::string& path, const std::vector<RunResult>& all,
     j.end_object();
   }
   j.end_array();
+  // The sharded-engine throughput section. hw_threads records the
+  // machine the numbers came from: wall-clock metrics only mean
+  // something relative to it, and the CI gate checks the >=3x parallel
+  // speedup only when the recording machine actually had 8+ hardware
+  // threads (matches_serial is gated unconditionally).
+  j.kv("hw_threads",
+       static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  j.key("throughput").begin_array();
+  for (const auto& r : throughput) {
+    j.begin_object();
+    j.kv("devices", r.devices);
+    j.kv("threads", r.threads);
+    j.kv("sim_ms", to_ms(r.sim_duration));
+    j.kv("events", r.events);
+    j.kv("serial_wall_ms", r.serial_wall_ms);
+    j.kv("parallel_wall_ms", r.parallel_wall_ms);
+    j.kv("serial_events_per_s",
+         ThroughputResult::events_per_s(r.events, r.serial_wall_ms));
+    j.kv("parallel_events_per_s",
+         ThroughputResult::events_per_s(r.events, r.parallel_wall_ms));
+    j.kv("serial_sim_s_per_wall_s",
+         ThroughputResult::sim_per_wall(r.sim_duration, r.serial_wall_ms));
+    j.kv("parallel_sim_s_per_wall_s",
+         ThroughputResult::sim_per_wall(r.sim_duration, r.parallel_wall_ms));
+    j.kv("speedup", r.speedup());
+    j.kv("matches_serial", r.matches_serial);
+    j.end_object();
+  }
+  j.end_array();
   j.end_object();
-  std::printf("wrote %s (%zu runs)\n", path.c_str(), all.size());
+  std::printf("wrote %s (%zu runs, %zu throughput cells)\n", path.c_str(),
+              all.size(), throughput.size());
 }
 
 }  // namespace
@@ -261,8 +391,48 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- sharded-engine throughput: serial vs parallel, big fleets ----
+  // Runs are timed, so they execute sequentially with the whole machine
+  // to themselves (the grid above already released the pool).
+  const std::vector<unsigned> big_fleets =
+      quick ? std::vector<unsigned>{256}
+            : std::vector<unsigned>{256, 512, 1024};
+  const TimeNs tp_duration = quick ? 40 * kNsPerMs : 200 * kNsPerMs;
+  const unsigned tp_threads =
+      std::max(1u, std::thread::hardware_concurrency());
+  std::vector<ThroughputResult> throughput;
+  for (const unsigned d : big_fleets) {
+    throughput.push_back(run_throughput(h, d, tp_duration, seed, tp_threads));
+  }
+
+  std::printf("\nsharded engine, %u worker thread(s), %u hw thread(s):\n",
+              tp_threads, std::thread::hardware_concurrency());
+  TextTable tp({"GPUs", "events", "serial ms", "parallel ms", "speedup",
+                "par Mev/s", "par sim-s/wall-s", "bit-identical"});
+  bool all_match = true;
+  for (const auto& r : throughput) {
+    all_match = all_match && r.matches_serial;
+    tp.add_row({std::to_string(r.devices), std::to_string(r.events),
+                TextTable::num(r.serial_wall_ms, 1),
+                TextTable::num(r.parallel_wall_ms, 1),
+                TextTable::num(r.speedup(), 2),
+                TextTable::num(ThroughputResult::events_per_s(
+                                   r.events, r.parallel_wall_ms) /
+                                   1e6,
+                               2),
+                TextTable::num(ThroughputResult::sim_per_wall(
+                                   r.sim_duration, r.parallel_wall_ms),
+                               3),
+                r.matches_serial ? "yes" : "NO"});
+  }
+  tp.print();
+
   if (!cli.json_path.empty()) {
-    emit_json(cli.json_path, results, duration, quick);
+    emit_json(cli.json_path, results, throughput, duration, quick);
+  }
+  if (!all_match) {
+    std::printf("FAIL: parallel engine diverged from serial results\n");
+    return 1;
   }
   return 0;
 }

@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <queue>
 #include <vector>
 
@@ -118,6 +119,44 @@ class EventQueue {
         continue;
       }
       if (heap_.top().when > until) break;
+      Entry e = std::move(const_cast<Entry&>(heap_.top()));
+      heap_.pop();
+      now_ = e.when;
+      retire(static_cast<uint32_t>(e.id));
+      --live_;
+      e.fn();
+      ++fired;
+    }
+    now_ = std::max(now_, until);
+    return fired;
+  }
+
+  /// Timestamp of the earliest live event, or nullopt when none remain.
+  /// Non-const: cancelled tombstones surfacing at the top are dropped so
+  /// the answer reflects a *live* event. The sharded fleet engine peeks
+  /// every shard to compute the next conservative time window.
+  std::optional<TimeNs> peek_next_time() {
+    while (!heap_.empty()) {
+      if (is_pending(heap_.top().id)) return heap_.top().when;
+      heap_.pop();  // cancelled tombstone
+    }
+    return std::nullopt;
+  }
+
+  /// Run events strictly before `until` (events at exactly `until` stay
+  /// pending), then advance the clock to `until`. This is the shard-side
+  /// half of a conservative time-window barrier: a shard may safely run
+  /// everything *before* the next cross-shard event, while same-timestamp
+  /// events wait for the canonical fleet-before-device turn. Returns the
+  /// number of events fired.
+  size_t run_until_before(TimeNs until) {
+    size_t fired = 0;
+    while (!heap_.empty()) {
+      if (!is_pending(heap_.top().id)) {  // cancelled tombstone
+        heap_.pop();
+        continue;
+      }
+      if (heap_.top().when >= until) break;
       Entry e = std::move(const_cast<Entry&>(heap_.top()));
       heap_.pop();
       now_ = e.when;

@@ -1,8 +1,15 @@
-// A small work-stealing-free thread pool used to parallelise *independent*
-// experiment runs (e.g. the 6-system × 2-GPU × 2-load sweep of Fig. 17).
+// A small work-stealing-free thread pool with two users:
 //
-// Simulations themselves stay single-threaded and deterministic; only the
-// outer sweep fans out. parallel_for preserves result ordering by index.
+//  * independent experiment runs (e.g. the 6-system × 2-GPU × 2-load
+//    sweep of Fig. 17) — whole simulations fanned out, nothing shared;
+//  * the sharded fleet engine (fleet::FleetOptions::parallel), which
+//    runs device shards concurrently inside each conservative time
+//    window (docs/fleet-engine.md). Determinism there comes from the
+//    shards being disjoint, not from this pool ordering anything.
+//
+// parallel_for preserves result ordering by index and rethrows the
+// first exception after every body has run; tests/thread_pool_test.cc
+// pins down the contract (the CI TSan job runs it under contention).
 #pragma once
 
 #include <condition_variable>

@@ -358,6 +358,23 @@ workload::ServingMetrics ServingSim::finish() {
   return metrics_;
 }
 
+// ------------------------------------------- shard-local driver API ----
+// Thin forwards onto the (fleet-mode: shard) event queue, so the fleet
+// engine drives devices through the sim API instead of reaching into
+// their queues. Everything a fired event touches — executor, controller,
+// memory manager, RNG, metrics — is owned by this sim, so running one
+// shard never observes another's state.
+
+size_t ServingSim::run_shard_until_before(TimeNs t) {
+  return queue_.run_until_before(t);
+}
+
+size_t ServingSim::run_shard_until(TimeNs t) { return queue_.run_until(t); }
+
+std::optional<TimeNs> ServingSim::next_shard_event() {
+  return queue_.peek_next_time();
+}
+
 void ServingSim::arrive(const Request& r) {
   SGDRC_REQUIRE(r.service < ls_tenants_.size(),
                 "request for unknown service");

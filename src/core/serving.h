@@ -174,6 +174,22 @@ class ServingSim {
   /// metrics.
   workload::ServingMetrics finish();
 
+  // ------------------------------------------ shard-local driver API ----
+  // In the sharded fleet engine each device sim's `queue` (the fleet-mode
+  // constructor argument) is private to the device — one shard of the
+  // fleet's conservative time-window loop. The fleet barrier drives the
+  // shard with these; exactly one thread may run a given sim at a time
+  // (the pool's submit/wait_idle pair provides the happens-before).
+  /// Fire this shard's events strictly before `t`, then advance its
+  /// clock to `t` — the barrier's exclusive edge, so same-timestamp
+  /// events wait for the canonical fleet-before-device turn.
+  size_t run_shard_until_before(TimeNs t);
+  /// Fire this shard's events up to and including `t` (the inclusive
+  /// drain that closes a window).
+  size_t run_shard_until(TimeNs t);
+  /// Earliest pending event on this shard (nullopt when idle).
+  std::optional<TimeNs> next_shard_event();
+
   // ------------------------------------------ runtime tenant churn ----
   // Dynamic scenarios (workload::Scenario) and fleet autoscaling add and
   // remove tenants while the simulation runs.

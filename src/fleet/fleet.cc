@@ -1,8 +1,10 @@
 #include "fleet/fleet.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 namespace sgdrc::fleet {
 
@@ -37,6 +39,10 @@ FleetSim::FleetSim(FleetConfig cfg, std::vector<FleetTenantSpec> tenants,
     }
   }
 
+  shards_.reserve(cfg_.devices);
+  for (DeviceId d = 0; d < cfg_.devices; ++d) {
+    shards_.push_back(std::make_unique<EventQueue>());
+  }
   policies_.resize(cfg_.devices);
   devices_.resize(cfg_.devices);
   for (DeviceId d = 0; d < cfg_.devices; ++d) {
@@ -45,7 +51,15 @@ FleetSim::FleetSim(FleetConfig cfg, std::vector<FleetTenantSpec> tenants,
     devices_[d] = core::ServingSimBuilder()
                       .config(device_config(d))
                       .tenants(per_device[d])
-                      .build(queue_, *policies_[d]);
+                      .build(*shards_[d], *policies_[d]);
+  }
+
+  if (cfg_.engine.parallel && cfg_.devices > 1) {
+    size_t threads = cfg_.engine.threads
+                         ? cfg_.engine.threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+    pool_ = std::make_unique<ThreadPool>(
+        std::min<size_t>(threads, cfg_.devices));
   }
 }
 
@@ -71,11 +85,14 @@ core::ServingSim& FleetSim::ensure_device(DeviceId d) {
     SGDRC_REQUIRE(cfg_.slo_multiplier > 0.0,
                   "placing replicas on an idle device needs an explicit "
                   "FleetConfig::slo_multiplier");
-    // Brought up mid-run (pack placement idled it at construction).
+    // Brought up mid-run (pack placement idled it at construction). Its
+    // shard already exists and sits on the fleet frontier — barriers
+    // advance every shard's clock, sims or not — so the new sim's first
+    // events land at >= now() like any sibling's.
     policies_[d] = make_policy_(cfg_.spec);
     devices_[d] = core::ServingSimBuilder()
                       .config(device_config(d))
-                      .build(queue_, *policies_[d]);
+                      .build(*shards_[d], *policies_[d]);
     if (begun_) devices_[d]->begin();
   }
   return *devices_[d];
@@ -107,9 +124,9 @@ FleetMetrics FleetSim::run(const std::vector<Request>& trace) {
     SGDRC_REQUIRE(r.service < ls_fleet_tenants_.size(),
                   "request for unknown fleet service");
     if (r.arrival >= cfg_.duration) continue;
-    queue_.schedule_at(r.arrival, [this, r] { dispatch(r); });
+    dispatch_.schedule_at(r.arrival, [this, r] { dispatch(r); });
   }
-  queue_.run_until(cfg_.duration);
+  run_until(cfg_.duration);
   return finish();
 }
 
@@ -130,14 +147,123 @@ void FleetSim::inject(unsigned service, TimeNs arrival) {
 }
 
 void FleetSim::at(TimeNs t, std::function<void()> fn) {
-  queue_.schedule_at(t, std::move(fn));
+  control_.schedule_at(t, std::move(fn));
 }
 
-size_t FleetSim::run_until(TimeNs t) { return queue_.run_until(t); }
+// The conservative windowed engine. Canonical order at equal
+// timestamps: control actions, then dispatches, then device-shard
+// events (docs/determinism.md) — ties across *device* shards never
+// matter because shards share no state. Each iteration picks the next
+// fleet event at or before `t`, barriers every shard up to it
+// (exclusive, so same-time device events take their turn after the
+// fleet tier), fires it, and repeats; with a blind router and a
+// positive dispatch hop, runs of dispatches coalesce into one window —
+// the lookahead that makes the parallel barrier coarse enough to pay.
+size_t FleetSim::run_until(TimeNs t) {
+  size_t fired = 0;
+  const bool coalesce =
+      !router_.reads_device_state() && cfg_.dispatch_latency > 0;
+  // "No event at or before t" sentinel; real timestamps never reach it.
+  static constexpr TimeNs kNone = std::numeric_limits<TimeNs>::max();
+  const auto next_in = [](EventQueue& q) {
+    return q.peek_next_time().value_or(kNone);
+  };
+  for (;;) {
+    TimeNs tc = next_in(control_);
+    TimeNs td = next_in(dispatch_);
+    if (tc > t) tc = kNone;
+    if (td > t) td = kNone;
+    if (tc != kNone && tc <= td) {
+      fired += advance_shards(tc, /*inclusive=*/false);
+      // Drain every control action at this instant, cascades included
+      // (an autoscaler tick scheduling a same-time follow-up).
+      while (next_in(control_) <= tc) {
+        control_.run_next();
+        ++fired;
+      }
+      continue;
+    }
+    if (td == kNone) break;
+    if (coalesce) {
+      // Blind-router window: route() reads no device state and every
+      // injection lands at least one dispatch hop in the future, so a
+      // whole run of dispatches (up to the next control action) fires
+      // with the shards still behind — they catch up at the next
+      // barrier and replay the injections in timestamp order.
+      for (;;) {
+        const TimeNs next = next_in(dispatch_);
+        if (next > t || next >= tc) break;
+        dispatch_.run_next();
+        ++fired;
+      }
+    } else {
+      // The router inspects live device state: barrier the shards up
+      // to this dispatch instant so it reads a consistent fleet.
+      fired += advance_shards(td, /*inclusive=*/false);
+      while (next_in(dispatch_) <= td) {
+        dispatch_.run_next();
+        ++fired;
+      }
+    }
+  }
+  // No fleet event remains at or before t: close the window — shards
+  // run to t inclusive and every clock lands on t.
+  fired += advance_shards(t, /*inclusive=*/true);
+  if (control_.now() < t) control_.advance_to(t);
+  if (dispatch_.now() < t) dispatch_.advance_to(t);
+  events_ += fired;
+  return fired;
+}
+
+size_t FleetSim::advance_shards(TimeNs t, bool inclusive) {
+  // Even an idle or sim-less shard advances its clock, so control
+  // actions and inline injections behind the barrier see a consistent
+  // device now().
+  if (!pool_) {
+    size_t fired = 0;
+    for (DeviceId d = 0; d < shards_.size(); ++d) {
+      if (devices_[d]) {
+        fired += inclusive ? devices_[d]->run_shard_until(t)
+                           : devices_[d]->run_shard_until_before(t);
+      } else if (shards_[d]->now() < t) {
+        shards_[d]->advance_to(t);
+      }
+    }
+    return fired;
+  }
+  // Parallel window: workers wake once (the pool's condition variable —
+  // readiness events, not polling) and claim shard indices from a
+  // shared cursor until none remain. Shards are mutually independent,
+  // so any interleaving yields the same result as the serial loop; the
+  // pool's submit/wait_idle pair is the happens-before on either side
+  // of the window.
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> fired{0};
+  pool_->parallel_for(std::min(pool_->size(), shards_.size()),
+                      [&](size_t) {
+                        size_t local = 0;
+                        for (;;) {
+                          const size_t d =
+                              next.fetch_add(1, std::memory_order_relaxed);
+                          if (d >= shards_.size()) break;
+                          if (devices_[d]) {
+                            local += inclusive
+                                         ? devices_[d]->run_shard_until(t)
+                                         : devices_[d]->run_shard_until_before(
+                                               t);
+                          } else if (shards_[d]->now() < t) {
+                            shards_[d]->advance_to(t);
+                          }
+                        }
+                        fired.fetch_add(local, std::memory_order_relaxed);
+                      });
+  return fired.load();
+}
 
 FleetMetrics FleetSim::finish() {
   FleetMetrics out;
   out.duration = cfg_.duration;
+  out.events = events_;
   out.routed = routed_;
   for (auto& dev : devices_) {
     if (dev) {
@@ -271,11 +397,17 @@ void FleetSim::dispatch(const Request& r) {
   if (r.arrival + delay >= cfg_.duration) return;
   ++routed_[rep.device];
   if (delay == 0) {
+    // Zero hop ⇒ the engine barriered this device to the dispatch
+    // instant (coalescing requires dispatch_latency > 0), so the
+    // request is admitted inline like a standalone sim's arrival.
     sim.inject(rep.local_tenant, r.arrival);
   } else {
+    // The cross-shard mailbox: the injection is a timestamped message
+    // scheduled onto the *destination* device's shard, replayed in
+    // (time, shard-local seq) order whenever its next window opens.
     // Latency still counts from the fleet arrival: the dispatch hop is
     // part of what the user waits for.
-    queue_.schedule_at(r.arrival + delay, [this, rep, r] {
+    shards_[rep.device]->schedule_at(r.arrival + delay, [this, rep, r] {
       devices_[rep.device]->inject(rep.local_tenant, r.arrival);
     });
   }

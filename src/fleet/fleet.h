@@ -1,18 +1,29 @@
 // The fleet layer: N per-device ServingSims (each with its own gpusim
-// device and its own Policy instance) interleaved on one shared event
-// queue, a PlacementPolicy that decides where each tenant's replicas
-// live, and a Router that dispatches every arriving LS request to a
-// replica by live per-device state. Per-GPU resource control (SGDRC or a
-// baseline) stays a device-local concern; the fleet adds the cluster
-// placement + routing layer on top, and aggregates metrics fleet-wide.
+// device and its own Policy instance), a PlacementPolicy that decides
+// where each tenant's replicas live, and a Router that dispatches every
+// arriving LS request to a replica by live per-device state. Per-GPU
+// resource control (SGDRC or a baseline) stays a device-local concern;
+// the fleet adds the cluster placement + routing layer on top, and
+// aggregates metrics fleet-wide.
+//
+// Execution is a sharded conservative discrete-event engine (see
+// docs/fleet-engine.md): each device owns a private EventQueue (its
+// shard), the fleet keeps two queues of its own (control actions and
+// trace dispatches), and a windowed loop interleaves them — barrier the
+// shards up to the next fleet event, fire it, repeat. Device shards
+// never read each other, so within a window they may run on a thread
+// pool (FleetOptions::parallel); serial and parallel execute the *same*
+// loop and are bit-identical by construction (docs/determinism.md).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "control/controller.h"
 #include "core/serving.h"
 #include "fleet/placement.h"
@@ -28,6 +39,21 @@ inline uint64_t device_seed(uint64_t base, DeviceId device) {
   return splitmix64(base + 0x9E3779B97F4A7C15ull *
                                (static_cast<uint64_t>(device) + 1));
 }
+
+/// Execution-engine knobs for the sharded fleet engine.
+struct FleetOptions {
+  /// Run device shards on a thread pool inside each conservative time
+  /// window. OFF by default: the serial path executes the *same*
+  /// windowed loop single-threaded, so flipping this changes wall-clock
+  /// only — results are bit-identical either way (ctest-enforced by
+  /// tests/fleet_parallel_test.cc) and serial stays the baseline of
+  /// record.
+  bool parallel = false;
+  /// Worker threads when parallel (0 = hardware concurrency). Capped at
+  /// the device count — extra workers would only contend on the claim
+  /// index.
+  unsigned threads = 0;
+};
 
 struct FleetConfig {
   gpusim::GpuSpec spec;  // homogeneous fleet (heterogeneity is future work)
@@ -50,10 +76,17 @@ struct FleetConfig {
   /// GPU memory virtualization, forwarded to every device sim (weight
   /// residency, cold-start loads, eviction; src/memory). OFF by default.
   memory::MemoryOptions memory;
+  /// Sharded-engine execution knobs (parallelism). Results never depend
+  /// on these.
+  FleetOptions engine;
 };
 
 struct FleetMetrics {
   TimeNs duration = 0;
+  /// Discrete events the engine fired to produce this run (device-shard
+  /// events + fleet control/dispatch events) — the numerator of the
+  /// bench events/sec throughput metric.
+  uint64_t events = 0;
   /// Per-device metrics (devices idled by pack placement report empty
   /// ServingMetrics with no tenants).
   std::vector<workload::ServingMetrics> devices;
@@ -124,9 +157,14 @@ class FleetSim {
   /// arriving at `arrival` (≤ now()).
   void inject(unsigned service, TimeNs arrival);
   /// Schedule a control action (tenant churn, SLO change, autoscaler
-  /// tick) on the fleet clock.
+  /// tick) on the fleet clock. Control actions fire before
+  /// same-timestamp dispatches and device events (the canonical tier
+  /// order — docs/determinism.md).
   void at(TimeNs t, std::function<void()> fn);
-  /// Drive the shared queue to `t` (events at exactly `t` still fire).
+  /// Drive the whole engine to `t` (events at exactly `t` still fire):
+  /// the conservative windowed loop — barrier every device shard up to
+  /// the next fleet event, fire it, repeat; then drain the shards to
+  /// `t` inclusive. Returns the number of events fired.
   size_t run_until(TimeNs t);
   /// Stop recording and aggregate — active and retired replicas both
   /// count, so churned tenants keep their history.
@@ -173,7 +211,14 @@ class FleetSim {
     return replicas_.at(tenant);
   }
   size_t ls_service_count() const { return ls_fleet_tenants_.size(); }
-  TimeNs now() const { return queue_.now(); }
+  /// The engine frontier: how far the fleet-level queues have advanced.
+  /// Device shards lag this inside a coalesced window and land on it at
+  /// every barrier.
+  TimeNs now() const { return std::max(control_.now(), dispatch_.now()); }
+  /// Events fired so far (shards + fleet queues) — bench observability.
+  uint64_t events_processed() const { return events_; }
+  /// True when device shards execute on the thread pool.
+  bool parallel() const { return pool_ != nullptr; }
   /// Requests a replica currently holds (admitted + backlogged).
   size_t outstanding(const Replica& r) const {
     return device(r.device).outstanding(r.local_tenant);
@@ -192,13 +237,33 @@ class FleetSim {
   void dispatch(const workload::Request& r);
   core::ServingConfig device_config(DeviceId d) const;
   core::ServingSim& ensure_device(DeviceId d);
+  /// The conservative barrier: every device shard fires its events
+  /// before `t` (exclusive) or up to `t` (inclusive) and lands its
+  /// clock on `t`. Serial or thread-pool execution per FleetOptions;
+  /// shards are independent, so the result is the same either way.
+  size_t advance_shards(TimeNs t, bool inclusive);
 
   FleetConfig cfg_;
   std::vector<FleetTenantSpec> tenants_;
   Router& router_;
   ControllerFactory make_policy_;
   Assignment assignment_;
-  EventQueue queue_;
+  /// Fleet-tier queues: control actions (at(); churn, SLO changes,
+  /// autoscaler ticks) and trace dispatches (run()'s arrival → route
+  /// hops). Separate so the engine can order control before dispatch at
+  /// equal timestamps and coalesce blind-router dispatch windows.
+  EventQueue control_;
+  EventQueue dispatch_;
+  /// One event-queue shard per device (created eagerly, even for
+  /// devices idled by pack placement, so mid-run bring-up finds a shard
+  /// already sitting on the fleet frontier). Device d's sim schedules
+  /// exclusively on shards_[d]; cross-shard injections arrive as
+  /// timestamped messages scheduled by the main thread between windows.
+  std::vector<std::unique_ptr<EventQueue>> shards_;
+  /// Workers for advance_shards (null ⇒ serial). Woken per window via
+  /// the pool's condition variable — readiness events, not polling.
+  std::unique_ptr<ThreadPool> pool_;
+  uint64_t events_ = 0;
   std::vector<std::unique_ptr<control::Controller>> policies_;  // per device
   std::vector<std::unique_ptr<core::ServingSim>> devices_;  // null if idle
   std::vector<std::vector<Replica>> replicas_;  // active, per fleet tenant

@@ -33,6 +33,15 @@ class Router {
   /// serves a request for `tenant` arriving at fleet.now().
   virtual size_t route(const FleetSim& fleet, unsigned tenant,
                        const std::vector<Replica>& replicas) = 0;
+  /// True when route() inspects live device state (outstanding counts,
+  /// residency, queue depths). The sharded fleet engine must then
+  /// barrier every device shard up to each dispatch timestamp before
+  /// routing; a blind router (round-robin) lets the engine coalesce a
+  /// whole window of dispatches without synchronizing, since the only
+  /// cross-shard effect is the timestamped injection one dispatch hop
+  /// in the future. Default true: correctness over speed for routers
+  /// that don't declare themselves.
+  virtual bool reads_device_state() const { return true; }
 };
 
 /// Per-tenant rotation, blind to load — fair under equal replicas, and
@@ -46,6 +55,10 @@ class RoundRobinRouter : public Router {
   }
   size_t route(const FleetSim& fleet, unsigned tenant,
                const std::vector<Replica>& replicas) override;
+  /// Pure cursor rotation — never looks at a device, so the sharded
+  /// engine may run it with device shards lagging behind the dispatch
+  /// frontier (the lookahead window).
+  bool reads_device_state() const override { return false; }
 
  private:
   std::vector<size_t> next_;

@@ -1,0 +1,213 @@
+// The determinism contract of the sharded fleet engine
+// (docs/determinism.md): FleetOptions::parallel changes wall-clock
+// only. Every run here executes the same fleet serially and on a
+// thread pool — across device counts, thread counts, blind and
+// state-reading routers, and mid-run control actions — and compares
+// the results bit-for-bit, down to the raw latency samples.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/profiler.h"
+#include "core/sgdrc_policy.h"
+#include "fleet/fleet.h"
+#include "models/zoo.h"
+#include "workload/trace.h"
+
+namespace sgdrc::fleet {
+namespace {
+
+using core::best_effort_tenant;
+using core::latency_sensitive_tenant;
+
+// Shared profiled models (profiling dominates test time; do it once).
+struct Zoo {
+  gpusim::GpuSpec spec = gpusim::test_gpu();
+  models::ModelDesc ls_a = models::make_model('A');
+  models::ModelDesc ls_b = models::make_model('B');
+  models::ModelDesc be_i = models::make_model('I');
+  TimeNs iso_a = 0, iso_b = 0;
+
+  Zoo() {
+    core::OfflineProfiler prof(spec);
+    for (auto* m : {&ls_a, &ls_b, &be_i}) prof.profile(*m);
+    iso_a = prof.isolated_latency(ls_a);
+    iso_b = prof.isolated_latency(ls_b);
+  }
+};
+
+const Zoo& zoo() {
+  static const Zoo z;
+  return z;
+}
+
+PolicyFactory sgdrc_factory() {
+  return [](const gpusim::GpuSpec& spec)
+             -> std::unique_ptr<control::Controller> {
+    return std::make_unique<core::SgdrcPolicy>(spec);
+  };
+}
+
+/// Exact textual fingerprint of a whole fleet run: event count, router
+/// decisions, and per-tenant counters down to every raw latency sample.
+/// Two runs with equal digests are bit-identical in every metric the
+/// repo reports.
+std::string digest(const FleetMetrics& m) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "events=" << m.events << "\nrouted=";
+  for (const uint64_t r : m.routed) os << r << ',';
+  for (const auto& t : m.tenants) {
+    os << "\ntenant " << t.id << ": arrived=" << t.arrived
+       << " served=" << t.served << " attained=" << t.attained
+       << " kernels=" << t.kernels_done << " lat=";
+    for (const auto s : t.latency.raw()) os << s << ' ';
+  }
+  os << '\n';
+  return os.str();
+}
+
+std::vector<FleetTenantSpec> mixed_tenants(unsigned devices) {
+  const auto& z = zoo();
+  const unsigned reps = std::min(devices, 3u);
+  return {
+      replicated(latency_sensitive_tenant(z.ls_a, z.iso_a), reps),
+      replicated(latency_sensitive_tenant(z.ls_b, z.iso_b), reps),
+      replicated(best_effort_tenant(z.be_i), reps),
+  };
+}
+
+FleetConfig base_config(unsigned devices, TimeNs duration) {
+  FleetConfig cfg;
+  cfg.spec = zoo().spec;
+  cfg.devices = devices;
+  cfg.duration = duration;
+  cfg.slo_multiplier = 3.0;
+  cfg.seed = 0xf1ee7;
+  cfg.dispatch_latency = 2 * kNsPerUs;
+  cfg.dispatch_jitter = 3 * kNsPerUs;
+  return cfg;
+}
+
+std::vector<workload::Request> shared_trace(TimeNs duration) {
+  workload::TraceOptions topt;
+  topt.services = 2;
+  topt.duration = duration;
+  topt.per_service_rates = {500.0, 350.0};
+  topt.seed = 0x7ace;
+  return workload::generate_apollo_like_trace(topt);
+}
+
+std::string run_digest(unsigned devices, bool parallel, unsigned threads,
+                       Router& router, TimeNs duration) {
+  FleetConfig cfg = base_config(devices, duration);
+  cfg.engine.parallel = parallel;
+  cfg.engine.threads = threads;
+  SpreadPlacement spread;
+  FleetSim fleet(cfg, mixed_tenants(devices), spread, router,
+                 sgdrc_factory());
+  EXPECT_EQ(fleet.parallel(), parallel && devices > 1);
+  const FleetMetrics m = fleet.run(shared_trace(duration));
+  // Guard against a vacuous comparison of two empty runs.
+  uint64_t served = 0;
+  for (const auto& t : m.tenants) served += t.served;
+  EXPECT_GT(served, 0u);
+  EXPECT_GT(m.events, 0u);
+  return digest(m);
+}
+
+// ------------------------------------------------- bit-identity grid ----
+
+TEST(FleetParallel, BitIdenticalAcrossDeviceAndThreadCounts) {
+  const TimeNs duration = 60 * kNsPerMs;
+  for (const unsigned devices : {1u, 4u, 8u, 64u}) {
+    RoundRobinRouter serial_router;
+    const std::string serial =
+        run_digest(devices, false, 0, serial_router, duration);
+    for (const unsigned threads : {2u, 5u}) {
+      RoundRobinRouter parallel_router;
+      EXPECT_EQ(serial,
+                run_digest(devices, true, threads, parallel_router, duration))
+          << "parallel diverged at " << devices << " devices, " << threads
+          << " threads";
+    }
+  }
+}
+
+TEST(FleetParallel, BitIdenticalWithStateReadingRouter) {
+  // Least-outstanding routes by live device state, forcing the engine
+  // onto the per-dispatch barrier path (no coalescing) — the parallel
+  // barrier must still reproduce the serial read exactly.
+  const TimeNs duration = 60 * kNsPerMs;
+  for (const unsigned devices : {4u, 8u}) {
+    LeastOutstandingRouter serial_router;
+    const std::string serial =
+        run_digest(devices, false, 0, serial_router, duration);
+    for (const unsigned threads : {2u, 5u}) {
+      LeastOutstandingRouter parallel_router;
+      EXPECT_EQ(serial,
+                run_digest(devices, true, threads, parallel_router, duration))
+          << "parallel diverged at " << devices << " devices, " << threads
+          << " threads";
+    }
+  }
+}
+
+// --------------------------------------- control actions and churn ----
+
+/// A scripted run through the external-driver API: mid-run replica
+/// churn, an SLO tighten, and same-instant injections — every control
+/// tier of the engine, serial vs parallel.
+std::string run_scripted(bool parallel, unsigned threads) {
+  const auto& z = zoo();
+  const TimeNs duration = 80 * kNsPerMs;
+  FleetConfig cfg = base_config(4, duration);
+  cfg.engine.parallel = parallel;
+  cfg.engine.threads = threads;
+  std::vector<FleetTenantSpec> tenants{
+      replicated(latency_sensitive_tenant(z.ls_a, z.iso_a), 2),
+      replicated(best_effort_tenant(z.be_i), 2),
+  };
+  SpreadPlacement spread;
+  LeastOutstandingRouter router;
+  FleetSim fleet(cfg, tenants, spread, router, sgdrc_factory());
+
+  const auto trace = shared_trace(duration);
+  fleet.begin();
+  for (const auto& r : trace) {
+    if (r.service != 0 || r.arrival >= duration) continue;
+    fleet.at(r.arrival, [&fleet, r] { fleet.inject(0, r.arrival); });
+  }
+  fleet.at(20 * kNsPerMs, [&fleet] { fleet.add_replica(0, 2); });
+  fleet.at(20 * kNsPerMs, [&fleet] { fleet.set_slo_factor(0.9); });
+  fleet.at(50 * kNsPerMs, [&fleet] { fleet.remove_replica(0, 0); });
+  fleet.run_until(duration);
+  return digest(fleet.finish());
+}
+
+TEST(FleetParallel, BitIdenticalUnderScriptedChurn) {
+  const std::string serial = run_scripted(false, 0);
+  for (const unsigned threads : {2u, 5u}) {
+    EXPECT_EQ(serial, run_scripted(true, threads))
+        << "scripted churn diverged at " << threads << " threads";
+  }
+}
+
+// ------------------------------------------------------- defaults ----
+
+TEST(FleetParallel, SerialIsTheDefaultAndSingleDeviceStaysSerial) {
+  EXPECT_FALSE(FleetOptions{}.parallel);
+  // One device has nothing to parallelise; the pool is never built.
+  FleetConfig cfg = base_config(1, 10 * kNsPerMs);
+  cfg.engine.parallel = true;
+  SpreadPlacement spread;
+  RoundRobinRouter rr;
+  FleetSim fleet(cfg, mixed_tenants(1), spread, rr, sgdrc_factory());
+  EXPECT_FALSE(fleet.parallel());
+}
+
+}  // namespace
+}  // namespace sgdrc::fleet

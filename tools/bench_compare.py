@@ -15,7 +15,13 @@ bench/baselines/ and fails (exit 1) when
   * a numeric `attainment` in the baseline turns null (no data) now, or
   * a (scenario, system) combination present in the baseline disappears
     from the current output (shrinking coverage would silently shrink
-    the gate).
+    the gate), or
+  * an absolute invariant of the current output is violated — today:
+    fleet_scaling's sharded-engine throughput cells must report
+    matches_serial == true (parallel bit-identical to serial), and on
+    machines with >= 8 hardware threads the parallel speedup must be
+    >= 3x (the speedup check is skipped on narrower machines, where the
+    number measures the box, not the code). See docs/bench-json.md.
 
 The simulation is deterministic (fixed seeds, integer-ns clocks), so in
 practice current == baseline exactly; the tolerances exist so a genuine
@@ -51,12 +57,55 @@ ABS_BE_FLOOR = 1.0
 
 
 def records_fleet(doc):
-    """fleet_scaling: one record per sweep cell."""
+    """fleet_scaling: one record per sweep cell, plus one per
+    sharded-engine throughput cell. The throughput `ok` is the
+    bit-identity of the parallel engine against serial — a hard gate on
+    any machine. Wall-clock fields (events/sec, speedup) are NOT
+    compared against the baseline: they measure the recording machine,
+    not the code (see validate_fleet for the absolute speedup check)."""
     for run in doc.get("runs", []):
         key = ("fleet", run["devices"], run["placement"], run["router"],
                run["system"])
         yield key, {"p99_ms": run.get("fleet_p99_ms"),
                     "be": run.get("be_samples_per_s")}
+    for cell in doc.get("throughput", []):
+        yield ("fleet-throughput", cell["devices"]), {
+            "ok": cell.get("matches_serial"),
+        }
+
+
+# Minimum hardware threads for the absolute speedup check, and the
+# speedup the parallel engine must then deliver at every fleet size.
+SPEEDUP_MIN_HW_THREADS = 8
+SPEEDUP_FLOOR = 3.0
+
+
+def validate_fleet(doc, name):
+    """Absolute (baseline-independent) invariants of the CURRENT
+    fleet_scaling output: the parallel engine must match serial
+    bit-for-bit everywhere, and — when the recording machine has 8+
+    hardware threads, so the number is physically meaningful — deliver
+    at least a 3x wall-clock speedup over serial on the big fleets."""
+    failures = []
+    hw = doc.get("hw_threads", 0)
+    for cell in doc.get("throughput", []):
+        if cell.get("matches_serial") is not True:
+            failures.append(
+                f"{name}: throughput/{cell.get('devices')}: parallel engine "
+                "did not reproduce serial results bit-for-bit")
+        speedup = cell.get("speedup")
+        if (hw >= SPEEDUP_MIN_HW_THREADS and speedup is not None
+                and speedup < SPEEDUP_FLOOR):
+            failures.append(
+                f"{name}: throughput/{cell.get('devices')}: parallel speedup "
+                f"{speedup:.2f}x < {SPEEDUP_FLOOR:.0f}x on a "
+                f"{hw}-hardware-thread machine")
+    return failures
+
+
+VALIDATORS = {
+    "fleet_scaling": validate_fleet,
+}
 
 
 def records_fig17(doc):
@@ -221,6 +270,10 @@ def main():
         failures.extend(
             compare(bpath.name, base, cur, args.p99_tolerance,
                     args.be_tolerance))
+        cdoc = json.loads(cpath.read_text())
+        validator = VALIDATORS.get(cdoc.get("bench"))
+        if validator:
+            failures.extend(validator(cdoc, bpath.name))
         checked += len(base)
 
     if failures:

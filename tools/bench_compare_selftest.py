@@ -56,6 +56,26 @@ BASELINE_MEMORY = {
 }
 
 
+BASELINE_FLEET = {
+    "bench": "fleet_scaling",
+    "quick": True,
+    "hw_threads": 16,
+    "runs": [
+        {"devices": 4, "placement": "spread", "router": "round-robin",
+         "system": "SGDRC", "fleet_p99_ms": 2.1, "be_samples_per_s": 210.0},
+        {"devices": 16, "placement": "packed", "router": "least-outstanding",
+         "system": "SGDRC", "fleet_p99_ms": 2.4, "be_samples_per_s": 700.0},
+    ],
+    "throughput": [
+        {"devices": 256, "threads": 16, "sim_ms": 40, "events": 624000,
+         "serial_wall_ms": 1700.0, "parallel_wall_ms": 400.0,
+         "serial_events_per_s": 367000.0, "parallel_events_per_s": 1560000.0,
+         "serial_sim_s_per_wall_s": 0.023, "parallel_sim_s_per_wall_s": 0.1,
+         "speedup": 4.25, "matches_serial": True},
+    ],
+}
+
+
 def run_gate(baseline, current, name="BENCH_vgpu.json"):
     with tempfile.TemporaryDirectory() as tmp:
         bdir = pathlib.Path(tmp) / "baseline"
@@ -171,6 +191,48 @@ def main():
     rc, out = run_gate(BASELINE_MEMORY, cur, name=mem)
     checks.append(expect("memory: shrunk coverage fails", rc, out, True,
                          "missing from current output"))
+
+    # ---- fleet_scaling throughput extractor + absolute validator ----
+    flt = "BENCH_fleet.json"
+    rc, out = run_gate(BASELINE_FLEET, BASELINE_FLEET, name=flt)
+    checks.append(expect("fleet: identical output passes", rc, out, False))
+
+    # Bit-identity is a hard gate on any machine — a parallel engine that
+    # diverges from serial is a correctness bug, not a perf number.
+    cur = copy.deepcopy(BASELINE_FLEET)
+    cur["throughput"][0]["matches_serial"] = False
+    rc, out = run_gate(BASELINE_FLEET, cur, name=flt)
+    checks.append(expect("fleet: matches_serial false fails", rc, out, True,
+                         "bit-for-bit"))
+
+    # Speedup is gated only where the number measures the code: a wide
+    # machine delivering < 3x fails ...
+    cur = copy.deepcopy(BASELINE_FLEET)
+    cur["throughput"][0]["speedup"] = 1.4
+    rc, out = run_gate(BASELINE_FLEET, cur, name=flt)
+    checks.append(expect("fleet: low speedup on wide machine fails", rc, out,
+                         True, "speedup"))
+
+    # ... while the same speedup on a narrow CI runner passes (there is
+    # no parallelism to be had below 8 hardware threads).
+    cur = copy.deepcopy(BASELINE_FLEET)
+    cur["hw_threads"] = 2
+    cur["throughput"][0]["speedup"] = 0.9
+    rc, out = run_gate(BASELINE_FLEET, cur, name=flt)
+    checks.append(expect("fleet: low speedup on narrow machine passes", rc,
+                         out, False))
+
+    cur = copy.deepcopy(BASELINE_FLEET)
+    del cur["throughput"][0]
+    rc, out = run_gate(BASELINE_FLEET, cur, name=flt)
+    checks.append(expect("fleet: dropped throughput cell fails", rc, out,
+                         True, "missing from current output"))
+
+    cur = copy.deepcopy(BASELINE_FLEET)
+    cur["runs"][0]["fleet_p99_ms"] = 5.0  # +138%
+    rc, out = run_gate(BASELINE_FLEET, cur, name=flt)
+    checks.append(expect("fleet: sweep p99 regression still fails", rc, out,
+                         True, "p99"))
 
     if not all(checks):
         print("bench_compare selftest FAILED")

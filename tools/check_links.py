@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/ (stdlib only).
+
+Walks every tracked markdown page (README.md plus docs/**/*.md), extracts
+inline links and images, and fails (exit 1) when
+
+  * a relative link points at a file that does not exist in the repo
+    (dead intra-repo link), or
+  * a link's `#fragment` names a heading anchor that the target page
+    does not define (GitHub heading slugification, including the `-1`,
+    `-2` suffixes for duplicate headings), or
+  * a link uses an absolute filesystem path (breaks on every machine
+    but the author's).
+
+External links (http/https/mailto) are NOT fetched — the checker is
+offline and deterministic, so CI never goes red on someone else's
+outage. Bare code spans and fenced code blocks are ignored: a
+`docs/foo.md` mentioned in prose or a shell snippet is documentation,
+not a link; only actual []()-links are contract.
+
+Registered as the `docs_link_check` ctest and run by the CI docs job.
+
+Usage: tools/check_links.py [REPO_ROOT]   (exit 0 = all links resolve)
+"""
+
+import pathlib
+import re
+import sys
+
+# Inline links/images: [text](target) / ![alt](target). Markdown allows
+# one level of balanced parens inside the target; titles ("...") are
+# stripped afterwards.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(\s*([^()\s]*(?:\([^()]*\)[^()\s]*)*)")
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, mailto:, …
+
+
+def strip_inline_code(line):
+    """Remove `code spans` so links inside them are not parsed."""
+    return re.sub(r"`[^`]*`", "", line)
+
+
+def github_slug(heading, seen):
+    """GitHub's anchor algorithm: strip markdown markup, lowercase, drop
+    punctuation, spaces to hyphens, numeric suffix for duplicates."""
+    text = re.sub(r"!?\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # links -> text
+    text = text.replace("`", "")
+    slug = text.strip().lower()
+    slug = re.sub(r"[^\w\- ]", "", slug, flags=re.UNICODE)
+    slug = slug.replace(" ", "-")
+    if slug in seen:
+        seen[slug] += 1
+        return f"{slug}-{seen[slug]}"
+    seen[slug] = 0
+    return slug
+
+
+def page_anchors(path, cache):
+    if path not in cache:
+        anchors, seen = set(), {}
+        in_fence = False
+        for line in path.read_text(encoding="utf-8").splitlines():
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            m = HEADING_RE.match(line)
+            if m:
+                anchors.add(github_slug(m.group(2), seen))
+        cache[path] = anchors
+    return cache[path]
+
+
+def iter_links(path):
+    in_fence = False
+    for lineno, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), 1):
+        if CODE_FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for m in LINK_RE.finditer(strip_inline_code(line)):
+            target = m.group(1).split('"')[0].strip()
+            if target:
+                yield lineno, target
+
+
+def check_page(page, root, anchor_cache):
+    failures = []
+    for lineno, target in iter_links(page):
+        where = f"{page.relative_to(root)}:{lineno}"
+        if EXTERNAL_RE.match(target):
+            continue  # http(s)/mailto — out of scope, offline checker
+        filepart, _, fragment = target.partition("#")
+        if filepart.startswith("/"):
+            failures.append(f"{where}: absolute path link '{target}' "
+                            "(use a repo-relative path)")
+            continue
+        dest = page if not filepart else (page.parent / filepart).resolve()
+        if not dest.exists():
+            failures.append(f"{where}: dead link '{target}' — "
+                            f"{dest.relative_to(root) if root in dest.parents or dest == root else dest} does not exist")
+            continue
+        if fragment:
+            if dest.is_dir() or dest.suffix.lower() != ".md":
+                continue  # anchors only checked on markdown pages
+            if fragment.lower() not in page_anchors(dest, anchor_cache):
+                failures.append(
+                    f"{where}: link '{target}' — no heading in "
+                    f"{dest.relative_to(root)} produces anchor "
+                    f"'#{fragment}'")
+    return failures
+
+
+def main():
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else
+                        pathlib.Path(__file__).resolve().parent.parent)
+    root = root.resolve()
+    pages = sorted([root / "README.md"] + list((root / "docs").rglob("*.md")))
+    pages = [p for p in pages if p.exists()]
+    if not pages:
+        print(f"check_links: no markdown pages under {root}", file=sys.stderr)
+        return 1
+
+    anchor_cache = {}
+    failures = []
+    checked = 0
+    for page in pages:
+        page_failures = check_page(page, root, anchor_cache)
+        failures.extend(page_failures)
+        checked += 1
+
+    if failures:
+        print(f"LINK CHECK FAILED ({len(failures)} broken link(s) across "
+              f"{checked} pages):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"link check passed: {checked} pages, all intra-repo links and "
+          "anchors resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -98,6 +98,11 @@ RunResult run_one(const core::ServingHarness& h, const RunSpec& spec,
                   TimeNs duration, uint64_t seed) {
   const auto& sys = baselines::system(spec.system);
   FleetConfig cfg;
+  // Homogeneous by construction: this bench scales *fleet shape*
+  // (devices x placement x router), never device mix, so the single
+  // `spec` (and the one implicit spec per JSON record) is intentional.
+  // Heterogeneous fleets are scenario_sweep territory, where records
+  // carry a per-device "device_specs" array.
   cfg.spec = h.options().spec;
   cfg.exec_params = h.options().exec_params;
   cfg.devices = spec.devices;

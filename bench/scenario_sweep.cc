@@ -1,13 +1,22 @@
 // Dynamic-scenario sweep: every scenario in the stock catalog (steady,
 // diurnal, flash-crowd, tenant-churn, BE-backfill-surge, SLO-tighten,
-// batching, model-zoo) × {SGDRC, SGDRC (Static), Multi-streaming} on a
-// small fleet. Load
-// shifts, tenants churn, SLOs tighten — the half of the paper's claim a
-// fixed trace never stresses. The headline check: dynamic SGDRC beats
-// the best *static* baseline on fleet LS p99 in most scenarios while
-// keeping BE throughput within 10% of that baseline.
+// batching, model-zoo, hetero-diurnal, flash-overload, retry-storm,
+// device-failure — see docs/scenarios.md) × {SGDRC, SGDRC (Static),
+// MPS, Multi-streaming} on a small fleet. Load shifts, tenants churn,
+// SLOs tighten, devices fail, demand exceeds capacity — the half of the
+// paper's claim a fixed trace never stresses. Two gates:
+//
+//   1. Headline: dynamic SGDRC beats the best *static* baseline on
+//      fleet LS p99 in most scenarios while keeping BE throughput
+//      within 10% of that baseline.
+//   2. Overload order (exit code): in flash-overload — an 8x spike on a
+//      mixed A2000/A100 fleet through the front door — SGDRC must
+//      degrade in QoS order: BE pauses first, low-priority LS sheds
+//      next, and the premium tier (priority 2) sheds least and keeps
+//      the highest attainment.
 //
 //   ./scenario_sweep [--quick] [--json BENCH_scenarios.json] [--seed N]
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -79,7 +88,7 @@ struct SweepRun {
 
 void emit_json(const std::string& path, const std::vector<Scenario>& catalog,
                const std::vector<SweepRun>& runs, TimeNs duration,
-               bool quick, unsigned wins) {
+               bool quick, unsigned wins, bool overload_order_ok) {
   std::ofstream os(path);
   SGDRC_REQUIRE(os.good(), "cannot open JSON output path");
   JsonWriter j(os);
@@ -88,6 +97,7 @@ void emit_json(const std::string& path, const std::vector<Scenario>& catalog,
   j.kv("quick", quick);
   j.kv("duration_ms", to_ms(duration));
   j.kv("sgdrc_wins_vs_best_static", static_cast<uint64_t>(wins));
+  j.kv("overload_order_ok", overload_order_ok);
   j.kv("scenario_count", static_cast<uint64_t>(catalog.size()));
   j.key("scenarios").begin_array();
   for (const auto& sc : catalog) {
@@ -96,6 +106,15 @@ void emit_json(const std::string& path, const std::vector<Scenario>& catalog,
     j.kv("description", sc.description());
     j.kv("devices", sc.device_count());
     j.kv("autoscaled", sc.autoscaled());
+    // Heterogeneous scenarios carry one spec name per device; records
+    // for homogeneous scenarios stay byte-identical to the pre-hetero
+    // schema (no key at all), so refreshed baselines diff cleanly.
+    if (!sc.device_specs().empty()) {
+      j.key("device_specs").begin_array();
+      for (const auto& spec : sc.device_specs()) j.value(spec.name);
+      j.end_array();
+    }
+    if (sc.front_door_config().enabled) j.kv("front_door", true);
     j.key("systems").begin_array();
     for (const auto& r : runs) {
       if (r.scenario != sc.name()) continue;
@@ -109,6 +128,44 @@ void emit_json(const std::string& path, const std::vector<Scenario>& catalog,
       j.kv("requests", static_cast<uint64_t>(r.outcome.requests));
       j.kv("scaling_actions",
            static_cast<uint64_t>(r.outcome.scaling.size()));
+      if (sc.front_door_config().enabled) {
+        const auto& fd = m.front_door;
+        j.key("front_door").begin_object();
+        j.kv("arrived", fd.arrived);
+        j.kv("admitted", fd.admitted);
+        j.kv("rejected", fd.rejected);
+        j.kv("shed", fd.shed);
+        j.kv("retries", fd.retries);
+        j.kv("dropped", fd.dropped);
+        j.kv("expired", fd.expired);
+        j.kv("pending_retries", fd.pending_retries);
+        j.kv("be_pause_events", fd.be_pause_events);
+        j.kv("be_paused_ms", to_ms(fd.be_paused_ns));
+        j.key("services").begin_array();
+        for (size_t s = 0; s < fd.arrived_by_service.size(); ++s) {
+          j.begin_object();
+          j.kv("service", static_cast<uint64_t>(s));
+          j.kv("arrived", fd.arrived_by_service[s]);
+          j.kv("admitted", fd.admitted_by_service[s]);
+          j.kv("rejected", fd.rejected_by_service[s]);
+          j.kv("shed", fd.shed_by_service[s]);
+          j.kv("dropped", fd.dropped_by_service[s]);
+          if (s < m.tenants.size() &&
+              m.tenants[s].qos == QosClass::kLatencySensitive) {
+            j.kv("attainment", m.tenants[s].attainment());
+            // Over demand (door arrivals), so shed requests count
+            // against the tier — the QoS-order gate's metric.
+            j.kv("demand_attainment",
+                 fd.arrived_by_service[s]
+                     ? static_cast<double>(m.tenants[s].attained) /
+                           static_cast<double>(fd.arrived_by_service[s])
+                     : 0.0);
+          }
+          j.end_object();
+        }
+        j.end_array();
+        j.end_object();
+      }
       j.end_object();
     }
     j.end_array();
@@ -192,6 +249,26 @@ int main(int argc, char** argv) {
     copt.model_zoo_memory.enabled = true;
     copt.model_zoo_memory.vram_bytes_override = 256ull << 20;
     copt.model_zoo_memory.oversubscribe = true;
+    // Mixed fleet for the heterogeneous scenarios: the workstation
+    // baseline next to a datacenter A100 (~4.8x by the TPC+bandwidth
+    // perf model). Everything else stays homogeneous A2000.
+    copt.hetero_specs = {ho.spec, gpusim::a100_sxm4()};
+    // Shed-oriented door for flash-overload / device-failure: no
+    // admission bucket; BE pauses at queue depth 12, priority-0 LS
+    // sheds at 20, the priority-2 premium tier not before 60. One
+    // retry only — under a sustained spike the lower tiers must
+    // actually lose demand, or "premium degrades last" is vacuous.
+    copt.front_door.enabled = true;
+    copt.front_door.be_pause_depth = 12;
+    copt.front_door.shed_depth = 20;
+    copt.front_door.max_retries = 1;
+    // Admission-oriented door for retry-storm: a bucket sized near each
+    // service's steady rate, so the 3x surge overdraws it and the
+    // rejected herd exercises the backoff/jitter model.
+    copt.admission_door.enabled = true;
+    copt.admission_door.admit_rate = 120.0;
+    copt.admission_door.admit_burst = 8.0;
+    copt.admission_door.max_retries = 3;
     return scenario_catalog(copt);
   };
   const auto catalog_spt = catalog_for(true);
@@ -210,7 +287,13 @@ int main(int argc, char** argv) {
     const bool spt = uses_spt(system);
     const auto& catalog = spt ? catalog_spt : catalog_plain;
     const Scenario& sc = catalog[sc_i];
-    fleet::QosAwarePlacement placement;
+    // Heterogeneous scenarios place perf-aware (normalized against the
+    // engine baseline spec); the empty-factor ctor is the exact legacy
+    // homogeneous policy.
+    fleet::QosAwarePlacement placement(
+        sc.device_specs().empty()
+            ? std::vector<double>{}
+            : fleet::device_perf_factors(sc.device_specs(), ecfg.spec));
     fleet::QosLoadAwareRouter router;
     const auto outcome =
         run_scenario(sc, make_tenants(h, spt, devices), ecfg, placement,
@@ -268,8 +351,72 @@ int main(int argc, char** argv) {
               "%zu scenarios (BE within 10%% in %u).\n",
               wins, catalog_spt.size(), be_ok);
 
+  // Overload-order gate: in flash-overload, SGDRC must degrade in QoS
+  // order — BE actually paused, low-priority LS actually shed, and the
+  // premium tier (service 0, priority 2) shed strictly least and left
+  // with attainment no worse than any lower-priority LS service.
+  bool overload_order_ok = true;
+  for (const auto& r : runs) {
+    if (r.scenario != "flash-overload" || r.system != "SGDRC") continue;
+    const auto& m = r.outcome.metrics;
+    const auto& fd = m.front_door;
+    const auto shed_frac = [&](size_t s) {
+      return fd.arrived_by_service[s]
+                 ? static_cast<double>(fd.shed_by_service[s]) /
+                       static_cast<double>(fd.arrived_by_service[s])
+                 : 0.0;
+    };
+    // Attainment over *demand* (attained / door arrivals), not over
+    // served: shedding a request is a degradation even though it never
+    // produces a latency sample — attained/served would score a
+    // hard-shedding tier as healthy.
+    const auto demand_att = [&](size_t s) {
+      return fd.arrived_by_service[s]
+                 ? static_cast<double>(m.tenants[s].attained) /
+                       static_cast<double>(fd.arrived_by_service[s])
+                 : 0.0;
+    };
+    const bool be_paused = fd.be_paused_ns > 0;
+    bool others_shed = false;      // some lower tier actually shed
+    bool premium_least = true;     // premium shed frac <= every other
+    bool premium_attains = true;   // premium demand att. >= every other
+    const double premium_att = demand_att(0);
+    for (size_t s = 1; s < fd.arrived_by_service.size(); ++s) {
+      if (fd.shed_by_service[s] > 0) others_shed = true;
+      if (shed_frac(0) > shed_frac(s)) premium_least = false;
+      if (s < m.tenants.size() &&
+          m.tenants[s].qos == QosClass::kLatencySensitive &&
+          premium_att < demand_att(s)) {
+        premium_attains = false;
+      }
+    }
+    overload_order_ok =
+        be_paused && others_shed && premium_least && premium_attains;
+    std::printf(
+        "\nflash-overload QoS order (SGDRC): BE paused %.1f ms (%s), "
+        "premium shed %.1f%% vs worst other %.1f%% (%s), premium "
+        "demand attainment %.1f%% (%s) -> %s\n",
+        to_ms(fd.be_paused_ns), be_paused ? "ok" : "NEVER",
+        100.0 * shed_frac(0),
+        [&] {
+          double worst = 0.0;
+          for (size_t s = 1; s < fd.arrived_by_service.size(); ++s) {
+            worst = std::max(worst, shed_frac(s));
+          }
+          return 100.0 * worst;
+        }(),
+        premium_least && others_shed ? "ordered" : "OUT OF ORDER",
+        100.0 * premium_att, premium_attains ? "highest" : "NOT HIGHEST",
+        overload_order_ok ? "PASS" : "FAIL");
+  }
+
   if (!cli.json_path.empty()) {
-    emit_json(cli.json_path, catalog_spt, runs, duration, cli.quick, wins);
+    emit_json(cli.json_path, catalog_spt, runs, duration, cli.quick, wins,
+              overload_order_ok);
+  }
+  if (!overload_order_ok) {
+    std::printf("FAIL: flash-overload degradation is not QoS-ordered\n");
+    return 1;
   }
   return 0;
 }

@@ -326,6 +326,22 @@ void ServingSim::remove_tenant(TenantId t) {
   poke();
 }
 
+void ServingSim::set_be_paused(bool paused) {
+  if (be_paused_ == paused) return;
+  be_paused_ = paused;
+  if (paused) {
+    // Mirror remove_tenant's BE halt: stop in-flight BE kernels so the
+    // freed TPCs serve the LS backlog now, not after the batch drains.
+    for (auto& job : jobs_) {
+      if (qos_of(job) == QosClass::kBestEffort && job.in_flight &&
+          !job.evicting) {
+        evict(job.id);
+      }
+    }
+  }
+  poke();  // paused: re-plan without BE; resumed: restart the loops
+}
+
 void ServingSim::set_slo(TenantId t, TimeNs slo) {
   SGDRC_REQUIRE(t < tenants_.size() &&
                     tenants_[t].qos == QosClass::kLatencySensitive,
@@ -637,6 +653,7 @@ bool ServingSim::visible_rotation(const Job& j) const {
   // Removed-LS jobs stay visible so admitted work drains; removed-BE
   // loops vanish so the policy never relaunches them.
   if (qos_of(j) == QosClass::kLatencySensitive) return true;
+  if (be_paused_) return false;  // fleet overload: BE sheds before LS
   if (!active_[j.tenant] || be_tenants_.empty()) return false;
   return cfg_.be_mode == BeMode::kConcurrent ||
          be_tenants_[be_resident_] == j.tenant;

@@ -213,6 +213,13 @@ class ServingSim {
   /// guarantees. The old TPC region is released, a new one is carved
   /// (validated against overcommit), and the controller re-plans.
   void set_vgpu(TenantId t, const control::VgpuSpec& vgpu);
+  /// Fleet overload lever (the front door's BE-before-LS degradation
+  /// order): while paused, every BE loop is invisible to the controller
+  /// — nothing launches — and in-flight BE kernels are evicted so their
+  /// TPCs free immediately. Resuming pokes the controller; loops restart
+  /// where their rotation left off. Idempotent.
+  void set_be_paused(bool paused);
+  bool be_paused() const { return be_paused_; }
 
   // ------------------------------------------------- policy read API ----
   const gpusim::GpuSpec& spec() const { return cfg_.spec; }
@@ -496,6 +503,7 @@ class ServingSim {
   bool in_schedule_ = false;
   bool repoke_ = false;
   bool stopped_ = false;
+  bool be_paused_ = false;  // front-door overload lever (set_be_paused)
 };
 
 /// Fluent setup for a serving simulation, so drivers stop hand-assembling

@@ -41,11 +41,16 @@ void Autoscaler::tick(FleetSim& fleet) {
                         static_cast<double>(reps.size());
 
     if (mean > opt_.scale_up_outstanding && reps.size() < max_replicas) {
-      // Scale up onto the least-LS-loaded device not already hosting us.
+      // Scale up onto the least-LS-loaded device not already hosting
+      // us. Load is perf-normalized (FleetSim::device_perf), so on a
+      // heterogeneous fleet a big device with some queue still beats a
+      // small idle-ish one once the ratio favors it; on homogeneous
+      // fleets the divisor is exactly 1.0 and nothing changes.
       bool have = false;
       DeviceId best = 0;
       double best_load = 0.0;
       for (DeviceId d = 0; d < fleet.device_count(); ++d) {
+        if (fleet.device_failed(d)) continue;  // cordoned — never target
         const bool hosted = std::any_of(
             reps.begin(), reps.end(),
             [&](const Replica& r) { return r.device == d; });
@@ -57,7 +62,7 @@ void Autoscaler::tick(FleetSim& fleet) {
             fleet.config().slo_multiplier <= 0.0) {
           continue;
         }
-        const double load = fleet.device_ls_load(d);
+        const double load = fleet.device_ls_load(d) / fleet.device_perf(d);
         if (!have || load < best_load) {
           have = true;
           best = d;
@@ -71,12 +76,14 @@ void Autoscaler::tick(FleetSim& fleet) {
       cooldown_[t] = opt_.cooldown_ticks;
     } else if (mean < opt_.scale_down_outstanding &&
                reps.size() > std::max(1u, opt_.min_replicas)) {
-      // Scale down off the most-loaded device — that headroom is worth
-      // the most to its co-tenants.
+      // Scale down off the most-loaded device (perf-normalized) — that
+      // headroom is worth the most to its co-tenants.
       size_t victim = 0;
-      double victim_load = fleet.device_ls_load(reps[0].device);
+      double victim_load = fleet.device_ls_load(reps[0].device) /
+                           fleet.device_perf(reps[0].device);
       for (size_t i = 1; i < reps.size(); ++i) {
-        const double load = fleet.device_ls_load(reps[i].device);
+        const double load = fleet.device_ls_load(reps[i].device) /
+                            fleet.device_perf(reps[i].device);
         if (load > victim_load) {
           victim = i;
           victim_load = load;

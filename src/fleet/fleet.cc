@@ -21,6 +21,14 @@ FleetSim::FleetSim(FleetConfig cfg, std::vector<FleetTenantSpec> tenants,
   SGDRC_REQUIRE(cfg_.devices >= 1, "fleet needs at least one device");
   SGDRC_REQUIRE(!tenants_.empty(), "fleet needs at least one tenant");
   SGDRC_REQUIRE(make_policy != nullptr, "fleet needs a policy factory");
+  SGDRC_REQUIRE(cfg_.device_specs.empty() ||
+                    cfg_.device_specs.size() == cfg_.devices,
+                "device_specs must be empty (homogeneous) or list one "
+                "spec per device");
+  failed_.assign(cfg_.devices, 0);
+  if (cfg_.front_door.enabled) {
+    front_door_ = std::make_unique<FrontDoor>(cfg_.front_door, cfg_.seed);
+  }
 
   assignment_ = placement.place(tenants_, cfg_.devices);
   validate_assignment(assignment_, tenants_, cfg_.devices);
@@ -47,7 +55,7 @@ FleetSim::FleetSim(FleetConfig cfg, std::vector<FleetTenantSpec> tenants,
   devices_.resize(cfg_.devices);
   for (DeviceId d = 0; d < cfg_.devices; ++d) {
     if (per_device[d].empty()) continue;  // idled by pack placement
-    policies_[d] = make_policy_(cfg_.spec);
+    policies_[d] = make_policy_(device_spec(d));
     devices_[d] = core::ServingSimBuilder()
                       .config(device_config(d))
                       .tenants(per_device[d])
@@ -63,9 +71,19 @@ FleetSim::FleetSim(FleetConfig cfg, std::vector<FleetTenantSpec> tenants,
   }
 }
 
+const gpusim::GpuSpec& FleetSim::device_spec(DeviceId d) const {
+  SGDRC_REQUIRE(d < cfg_.devices, "device out of range");
+  return cfg_.device_specs.empty() ? cfg_.spec : cfg_.device_specs[d];
+}
+
+double FleetSim::device_perf(DeviceId d) const {
+  if (cfg_.device_specs.empty()) return 1.0;  // exact: homogeneous
+  return relative_perf(device_spec(d), cfg_.spec);
+}
+
 core::ServingConfig FleetSim::device_config(DeviceId d) const {
   core::ServingConfig scfg;
-  scfg.spec = cfg_.spec;
+  scfg.spec = device_spec(d);
   scfg.exec_params = cfg_.exec_params;
   scfg.ls_instances = cfg_.ls_instances;
   scfg.duration = cfg_.duration;
@@ -78,6 +96,7 @@ core::ServingConfig FleetSim::device_config(DeviceId d) const {
 
 core::ServingSim& FleetSim::ensure_device(DeviceId d) {
   SGDRC_REQUIRE(d < devices_.size(), "device out of range");
+  SGDRC_REQUIRE(!failed_[d], "cannot place replicas on a failed device");
   if (!devices_[d]) {
     // A zero-tenant sim cannot derive the SLO multiplier from its
     // co-residency (there is none yet); without an explicit n its
@@ -89,11 +108,14 @@ core::ServingSim& FleetSim::ensure_device(DeviceId d) {
     // shard already exists and sits on the fleet frontier — barriers
     // advance every shard's clock, sims or not — so the new sim's first
     // events land at >= now() like any sibling's.
-    policies_[d] = make_policy_(cfg_.spec);
+    policies_[d] = make_policy_(device_spec(d));
     devices_[d] = core::ServingSimBuilder()
                       .config(device_config(d))
                       .build(*shards_[d], *policies_[d]);
     if (begun_) devices_[d]->begin();
+    // A device brought up during an overload inherits the current BE
+    // pause state, like its long-lived siblings.
+    if (front_door_ && device_be_paused_) devices_[d]->set_be_paused(true);
   }
   return *devices_[d];
 }
@@ -102,6 +124,63 @@ const core::ServingSim& FleetSim::device(DeviceId d) const {
   SGDRC_REQUIRE(d < devices_.size() && devices_[d] != nullptr,
                 "no sim on this device (idle under pack placement)");
   return *devices_[d];
+}
+
+size_t FleetSim::fleet_ls_queue_depth() const {
+  size_t depth = 0;
+  for (const unsigned ft : ls_fleet_tenants_) {
+    for (const Replica& r : replicas_[ft]) depth += outstanding(r);
+  }
+  return depth;
+}
+
+void FleetSim::set_be_paused(bool paused) {
+  if (device_be_paused_ == paused) return;
+  device_be_paused_ = paused;
+  for (auto& dev : devices_) {
+    if (dev) dev->set_be_paused(paused);
+  }
+}
+
+void FleetSim::fail_device(DeviceId device) {
+  SGDRC_REQUIRE(device < cfg_.devices, "device out of range");
+  if (failed_[device]) return;
+  failed_[device] = 1;
+  // Cordon-and-drain: each replica retires through the normal removal
+  // path, so admitted work completes and its history survives. Nothing
+  // new routes here — replicas_of() no longer lists this device.
+  std::vector<unsigned> stranded;  // lost their ONLY replica here
+  for (unsigned t = 0; t < tenants_.size(); ++t) {
+    const auto& reps = replicas_[t];
+    if (std::any_of(reps.begin(), reps.end(),
+                    [&](const Replica& r) { return r.device == device; })) {
+      remove_replica(t, device);
+      if (reps.empty()) stranded.push_back(t);
+    }
+  }
+  // Recovery: a tenant whose only replica was here gets rescheduled
+  // onto the least-loaded eligible survivor (what an orchestrator does
+  // when a node dies), so its traffic stays routable. Eligibility
+  // mirrors the autoscaler: never a failed device, and never a sim-less
+  // one unless the fleet carries an explicit SLO multiplier. When no
+  // device qualifies the tenant stays unroutable — the front door sheds
+  // its requests, or dispatch fails loudly without one.
+  for (const unsigned t : stranded) {
+    bool have = false;
+    DeviceId best = 0;
+    double best_load = 0.0;
+    for (DeviceId d = 0; d < cfg_.devices; ++d) {
+      if (failed_[d]) continue;
+      if (!devices_[d] && cfg_.slo_multiplier <= 0.0) continue;
+      const double load = device_ls_load(d) / device_perf(d);
+      if (!have || load < best_load) {
+        have = true;
+        best = d;
+        best_load = load;
+      }
+    }
+    if (have) add_replica(t, best);
+  }
 }
 
 double FleetSim::device_ls_load(DeviceId d) const {
@@ -138,6 +217,20 @@ void FleetSim::begin() {
   for (auto& dev : devices_) {
     if (dev) dev->begin();
   }
+  // The overload tick re-evaluates BE pause/resume on the control tier
+  // even when arrivals stop, so a drained queue always resumes BE.
+  if (front_door_ && cfg_.front_door.tick_interval > 0 &&
+      cfg_.front_door.be_pause_depth > 0) {
+    front_door_tick(cfg_.front_door.tick_interval);
+  }
+}
+
+void FleetSim::front_door_tick(TimeNs t) {
+  if (t >= cfg_.duration) return;
+  at(t, [this, t] {
+    front_door_->tick(*this, t);
+    front_door_tick(t + cfg_.front_door.tick_interval);
+  });
 }
 
 void FleetSim::inject(unsigned service, TimeNs arrival) {
@@ -161,8 +254,11 @@ void FleetSim::at(TimeNs t, std::function<void()> fn) {
 // the lookahead that makes the parallel barrier coarse enough to pay.
 size_t FleetSim::run_until(TimeNs t) {
   size_t fired = 0;
-  const bool coalesce =
-      !router_.reads_device_state() && cfg_.dispatch_latency > 0;
+  // The front door reads live queue depths at every dispatch, so its
+  // presence forces the state-reading barrier path just like a
+  // state-reading router would.
+  const bool coalesce = !router_.reads_device_state() &&
+                        cfg_.dispatch_latency > 0 && !front_door_;
   // "No event at or before t" sentinel; real timestamps never reach it.
   static constexpr TimeNs kNone = std::numeric_limits<TimeNs>::max();
   const auto next_in = [](EventQueue& q) {
@@ -265,6 +361,10 @@ FleetMetrics FleetSim::finish() {
   out.duration = cfg_.duration;
   out.events = events_;
   out.routed = routed_;
+  if (front_door_) {
+    front_door_->finalize(cfg_.duration);
+    out.front_door = front_door_->metrics();
+  }
   for (auto& dev : devices_) {
     if (dev) {
       out.devices.push_back(dev->finish());
@@ -380,8 +480,29 @@ void FleetSim::set_fleet_vgpu(unsigned tenant, const control::VgpuSpec& vgpu) {
 }
 
 void FleetSim::dispatch(const Request& r) {
+  dispatch_attempt(r, 0, r.arrival);
+}
+
+void FleetSim::dispatch_attempt(const Request& r, unsigned attempt,
+                                TimeNs first_arrival) {
   const unsigned ft = ls_fleet_tenants_[r.service];
   const auto& reps = replicas_[ft];
+  if (front_door_) {
+    if (attempt == 0) front_door_->note_arrival(r.service);
+    if (reps.empty()) {
+      // Unroutable (device failure / departure raced the request):
+      // shed at the door instead of crashing the fleet.
+      front_door_->note_unroutable(r.service);
+      schedule_retry(r, attempt, first_arrival);
+      return;
+    }
+    const FrontDoor::Decision decision =
+        front_door_->admit(*this, r.service, r.arrival);
+    if (decision != FrontDoor::Decision::kAdmit) {
+      schedule_retry(r, attempt, first_arrival);
+      return;
+    }
+  }
   SGDRC_REQUIRE(!reps.empty(), "request for a tenant with no active replica");
   const size_t pick = router_.route(*this, ft, reps);
   SGDRC_CHECK(pick < reps.size(), "router picked an invalid replica");
@@ -394,23 +515,50 @@ void FleetSim::dispatch(const Request& r) {
   }
   // A hop that lands past the measurement window never reaches a device;
   // dropping it here keeps routed == Σ arrived exact.
-  if (r.arrival + delay >= cfg_.duration) return;
+  if (r.arrival + delay >= cfg_.duration) {
+    if (front_door_) front_door_->note_expired();
+    return;
+  }
   ++routed_[rep.device];
   if (delay == 0) {
     // Zero hop ⇒ the engine barriered this device to the dispatch
     // instant (coalescing requires dispatch_latency > 0), so the
     // request is admitted inline like a standalone sim's arrival.
-    sim.inject(rep.local_tenant, r.arrival);
+    sim.inject(rep.local_tenant, first_arrival);
   } else {
     // The cross-shard mailbox: the injection is a timestamped message
     // scheduled onto the *destination* device's shard, replayed in
     // (time, shard-local seq) order whenever its next window opens.
-    // Latency still counts from the fleet arrival: the dispatch hop is
-    // part of what the user waits for.
-    shards_[rep.device]->schedule_at(r.arrival + delay, [this, rep, r] {
-      devices_[rep.device]->inject(rep.local_tenant, r.arrival);
-    });
+    // Latency still counts from the *first* fleet arrival: dispatch
+    // hops and retry backoffs are part of what the client waits for —
+    // a request admitted on its second attempt carries its full
+    // backoff in its latency sample, so shedding is never free.
+    shards_[rep.device]->schedule_at(
+        r.arrival + delay, [this, rep, first_arrival] {
+          devices_[rep.device]->inject(rep.local_tenant, first_arrival);
+        });
   }
+}
+
+void FleetSim::schedule_retry(const Request& r, unsigned attempt,
+                              TimeNs first_arrival) {
+  if (attempt >= cfg_.front_door.max_retries) {
+    front_door_->note_dropped(r.service);
+    return;
+  }
+  const TimeNs t = r.arrival + front_door_->retry_delay(attempt);
+  if (t >= cfg_.duration) {
+    // The re-arrival would land past the horizon — the client gives up
+    // as far as this run can observe.
+    front_door_->note_dropped(r.service);
+    return;
+  }
+  front_door_->note_retry_scheduled();
+  dispatch_.schedule_at(
+      t, [this, service = r.service, t, attempt, first_arrival] {
+        front_door_->note_retry_fired();
+        dispatch_attempt({t, service}, attempt + 1, first_arrival);
+      });
 }
 
 // ---------------------------------------------------------- metrics ----

@@ -26,6 +26,7 @@
 #include "common/thread_pool.h"
 #include "control/controller.h"
 #include "core/serving.h"
+#include "fleet/front_door.h"
 #include "fleet/placement.h"
 #include "fleet/router.h"
 
@@ -56,7 +57,16 @@ struct FleetOptions {
 };
 
 struct FleetConfig {
-  gpusim::GpuSpec spec;  // homogeneous fleet (heterogeneity is future work)
+  /// Baseline device spec: every device runs it when `device_specs` is
+  /// empty, and perf normalization (FleetSim::device_perf) measures
+  /// heterogeneous devices against it.
+  gpusim::GpuSpec spec;
+  /// Per-device specs for heterogeneous fleets (e.g. a mixed
+  /// A2000/A100 rack). Empty = homogeneous (`spec` everywhere);
+  /// otherwise size must equal `devices`. Placement, routing, and
+  /// autoscaling normalize load by FleetSim::device_perf so a big
+  /// device earns proportionally more work.
+  std::vector<gpusim::GpuSpec> device_specs;
   gpusim::ExecutorParams exec_params;
   unsigned devices = 1;
   unsigned ls_instances = 4;
@@ -76,6 +86,10 @@ struct FleetConfig {
   /// GPU memory virtualization, forwarded to every device sim (weight
   /// residency, cold-start loads, eviction; src/memory). OFF by default.
   memory::MemoryOptions memory;
+  /// Overload front door (admission control, QoS-ordered shedding,
+  /// retry storms; src/fleet/front_door.h). OFF by default: the
+  /// dispatch path is then byte-for-byte the pre-front-door one.
+  FrontDoorConfig front_door;
   /// Sharded-engine execution knobs (parallelism). Results never depend
   /// on these.
   FleetOptions engine;
@@ -96,6 +110,8 @@ struct FleetMetrics {
   std::vector<workload::TenantMetrics> tenants;
   /// LS requests dispatched to each device (router decisions).
   std::vector<uint64_t> routed;
+  /// Front-door accounting (all zeros when the door is disabled).
+  FrontDoorMetrics front_door;
 
   double ls_goodput() const;       // attained requests / s, fleet-wide
   double be_throughput() const;    // samples / s, fleet-wide
@@ -192,12 +208,32 @@ class FleetSim {
   /// spec is updated so future replicas inherit it, and every active
   /// replica's device re-carves its region and re-plans.
   void set_fleet_vgpu(unsigned tenant, const control::VgpuSpec& vgpu);
+  /// Cordon `device` (mid-run failure): every replica on it retires —
+  /// routing stops immediately, admitted work drains, metrics survive —
+  /// and the autoscaler / lazy bring-up will never target it again. A
+  /// tenant whose last replica lived there becomes unroutable: with the
+  /// front door enabled its requests shed (and may retry); without, the
+  /// next dispatch for it throws. Idempotent.
+  void fail_device(DeviceId device);
+  bool device_failed(DeviceId d) const { return failed_.at(d) != 0; }
+  /// Pause/resume best-effort work on every live device (the front
+  /// door's first shedding lever; also callable from scenario scripts).
+  void set_be_paused(bool paused);
 
   // ------------------------------------------- router / test read API ----
   unsigned device_count() const { return cfg_.devices; }
   const FleetConfig& config() const { return cfg_; }
   bool device_in_use(DeviceId d) const { return devices_.at(d) != nullptr; }
   const core::ServingSim& device(DeviceId d) const;
+  /// Device d's GPU spec: `config().spec` for homogeneous fleets, the
+  /// per-device entry otherwise.
+  const gpusim::GpuSpec& device_spec(DeviceId d) const;
+  /// Relative serving capacity of device d against the baseline spec:
+  /// the mean of its TPC-count and VRAM-bandwidth ratios. Exactly 1.0
+  /// for every device of a homogeneous fleet, so perf-normalized
+  /// routing/scaling (which divide by this) reproduce the homogeneous
+  /// decisions bit-for-bit.
+  double device_perf(DeviceId d) const;
   /// Where each tenant's replicas were first placed: the construction
   /// placement plus one appended row per runtime arrival. Replica
   /// rescale does not rewrite it — replicas_of() is the live view.
@@ -211,6 +247,15 @@ class FleetSim {
     return replicas_.at(tenant);
   }
   size_t ls_service_count() const { return ls_fleet_tenants_.size(); }
+  /// Fleet tenant index behind an LS service index.
+  unsigned ls_fleet_tenant(unsigned service) const {
+    return ls_fleet_tenants_.at(service);
+  }
+  /// Fleet-wide LS queue depth: Σ outstanding over every active LS
+  /// replica. The front door's overload signal.
+  size_t fleet_ls_queue_depth() const;
+  /// The live front door, or null when disabled.
+  const FrontDoor* front_door() const { return front_door_.get(); }
   /// The engine frontier: how far the fleet-level queues have advanced.
   /// Device shards lag this inside a coalesced window and land on it at
   /// every barrier.
@@ -235,6 +280,17 @@ class FleetSim {
 
  private:
   void dispatch(const workload::Request& r);
+  /// One routing attempt through the front door; `attempt` counts the
+  /// retries already spent (0 = first arrival). `first_arrival` is the
+  /// request's original fleet arrival — the latency clock — which
+  /// survives retries, so backoff waits land in the latency samples.
+  void dispatch_attempt(const workload::Request& r, unsigned attempt,
+                        TimeNs first_arrival);
+  /// Re-arrive a rejected/shed request after backoff, or drop it when
+  /// the retry budget or the measurement window is exhausted.
+  void schedule_retry(const workload::Request& r, unsigned attempt,
+                      TimeNs first_arrival);
+  void front_door_tick(TimeNs t);
   core::ServingConfig device_config(DeviceId d) const;
   core::ServingSim& ensure_device(DeviceId d);
   /// The conservative barrier: every device shard fires its events
@@ -270,6 +326,13 @@ class FleetSim {
   std::vector<std::vector<Replica>> retired_;   // removed, kept for metrics
   std::vector<unsigned> ls_fleet_tenants_;      // service index → tenant
   std::vector<uint64_t> routed_;
+  std::vector<char> failed_;  // per device; 1 after fail_device
+  bool device_be_paused_ = false;  // current fleet-wide BE pause state
+  /// Null unless cfg_.front_door.enabled. The door reads live queue
+  /// depths, so its presence disables dispatch coalescing — the engine
+  /// barriers the shards before every dispatch, exactly like a
+  /// state-reading router (docs/fleet-engine.md).
+  std::unique_ptr<FrontDoor> front_door_;
   double slo_factor_ = 1.0;  // accumulated set_slo_factor product
   bool begun_ = false;
 };

@@ -21,6 +21,33 @@ double derived_weight(const FleetTenantSpec& t) {
 
 }  // namespace
 
+double relative_perf(const gpusim::GpuSpec& s, const gpusim::GpuSpec& base) {
+  const double tpc = base.num_tpcs > 0
+                         ? static_cast<double>(s.num_tpcs) /
+                               static_cast<double>(base.num_tpcs)
+                         : 1.0;
+  const double bw = base.vram_gbps > 0.0 ? s.vram_gbps / base.vram_gbps : 1.0;
+  return 0.5 * (tpc + bw);
+}
+
+std::vector<double> device_perf_factors(
+    const std::vector<gpusim::GpuSpec>& specs, const gpusim::GpuSpec& base) {
+  std::vector<double> out;
+  out.reserve(specs.size());
+  for (const auto& s : specs) out.push_back(relative_perf(s, base));
+  return out;
+}
+
+std::vector<DeviceShape> device_shapes(
+    const std::vector<gpusim::GpuSpec>& specs, bool include_vram) {
+  std::vector<DeviceShape> out;
+  out.reserve(specs.size());
+  for (const auto& s : specs) {
+    out.push_back({s.num_tpcs, include_vram ? s.vram_bytes : 0});
+  }
+  return out;
+}
+
 Assignment SpreadPlacement::place(const std::vector<FleetTenantSpec>& tenants,
                                   unsigned devices) const {
   std::vector<unsigned> count(devices, 0);
@@ -82,8 +109,22 @@ Assignment PackPlacement::place(const std::vector<FleetTenantSpec>& tenants,
 
 Assignment QosAwarePlacement::place(
     const std::vector<FleetTenantSpec>& tenants, unsigned devices) const {
+  SGDRC_REQUIRE(perf_.empty() || perf_.size() == devices,
+                "perf factors must be empty (homogeneous) or list one "
+                "per device");
   std::vector<double> ls_load(devices, 0.0);
   std::vector<unsigned> be_count(devices, 0);
+  // Heterogeneity: compare perf-normalized load, so a 2x device looks
+  // half as crowded at equal raw load. Homogeneous (empty perf_) values
+  // pass through untouched — integer BE counts compare exactly as
+  // doubles, so the legacy decisions are reproduced bit-for-bit.
+  const auto nls = [&](DeviceId d) {
+    return perf_.empty() ? ls_load[d] : ls_load[d] / perf_[d];
+  };
+  const auto nbe = [&](DeviceId d) {
+    const double c = static_cast<double>(be_count[d]);
+    return perf_.empty() ? c : c / perf_[d];
+  };
   Assignment out(tenants.size());
   // LS first so BE sees the final LS landscape regardless of spec order.
   for (const QosClass qos :
@@ -104,12 +145,10 @@ Assignment QosAwarePlacement::place(
           }
           const bool better =
               qos == QosClass::kLatencySensitive
-                  ? ls_load[d] < ls_load[best] ||
-                        (ls_load[d] == ls_load[best] &&
-                         be_count[d] < be_count[best])
-                  : be_count[d] < be_count[best] ||
-                        (be_count[d] == be_count[best] &&
-                         ls_load[d] < ls_load[best]);
+                  ? nls(d) < nls(best) ||
+                        (nls(d) == nls(best) && nbe(d) < nbe(best))
+                  : nbe(d) < nbe(best) ||
+                        (nbe(d) == nbe(best) && nls(d) < nls(best));
           if (better) best = d;
         }
         used[best] = true;
@@ -127,8 +166,26 @@ Assignment QosAwarePlacement::place(
 
 Assignment QuotaAwarePlacement::place(
     const std::vector<FleetTenantSpec>& tenants, unsigned devices) const {
-  SGDRC_REQUIRE(capacity_ >= 1, "quota bin capacity must be positive");
-  const uint64_t cb = capacity_bytes_;  // 0 = byte dimension disabled
+  // Per-device bin capacities: uniform from the scalar constructor, or
+  // the heterogeneous shapes. The scalar path builds the same vectors,
+  // so both run one algorithm and the uniform case is unchanged.
+  std::vector<unsigned> cap(devices, capacity_);
+  std::vector<uint64_t> capb(devices, capacity_bytes_);
+  if (!shapes_.empty()) {
+    SGDRC_REQUIRE(shapes_.size() == devices,
+                  "device shapes must list one capacity per device");
+    for (DeviceId d = 0; d < devices; ++d) {
+      cap[d] = shapes_[d].tpcs;
+      capb[d] = shapes_[d].vram_bytes;
+    }
+  }
+  unsigned cap_max = 0;
+  uint64_t cb = 0;  // max byte bin; 0 = byte dimension disabled
+  for (DeviceId d = 0; d < devices; ++d) {
+    cap_max = std::max(cap_max, cap[d]);
+    cb = std::max(cb, capb[d]);
+  }
+  SGDRC_REQUIRE(cap_max >= 1, "quota bin capacity must be positive");
   // A replica's expected VRAM footprint: its declared memory quota when
   // it has one, else its model's weight bytes (weights occupy VRAM when
   // resident whether or not the tenant reserved them).
@@ -139,14 +196,15 @@ Assignment QuotaAwarePlacement::place(
                                   : spec.model.weight_bytes();
   };
   // First-fit-decreasing over (guaranteed TPCs, VRAM bytes) — decreasing
-  // in the dominant normalized dimension, the classic vector-bin-packing
-  // reduction: place the biggest reservations while every bin is still
-  // roomy, then balance the unguaranteed tenants onto whatever headroom
-  // is left. With cb == 0 the key degenerates to guaranteed TPCs and the
-  // order (ties included) matches the TPC-only policy exactly.
+  // in the dominant normalized dimension (against the biggest bin), the
+  // classic vector-bin-packing reduction: place the biggest reservations
+  // while every bin is still roomy, then balance the unguaranteed
+  // tenants onto whatever headroom is left. With cb == 0 the key
+  // degenerates to guaranteed TPCs and the order (ties included)
+  // matches the TPC-only policy exactly.
   const auto sort_key = [&](size_t t) {
     const double g =
-        static_cast<double>(tenants[t].spec.vgpu.guaranteed_tpcs) / capacity_;
+        static_cast<double>(tenants[t].spec.vgpu.guaranteed_tpcs) / cap_max;
     const double m =
         cb ? static_cast<double>(demand_bytes(t)) / static_cast<double>(cb)
            : 0.0;
@@ -169,18 +227,18 @@ Assignment QuotaAwarePlacement::place(
     std::vector<bool> used(devices, false);
     for (unsigned r = 0; r < clamped_replicas(tenants[t], devices); ++r) {
       const auto headroom = [&](DeviceId x) {
-        return capacity_ > reserved[x] ? capacity_ - reserved[x] : 0u;
+        return cap[x] > reserved[x] ? cap[x] - reserved[x] : 0u;
       };
       const auto byte_headroom = [&](DeviceId x) {
-        return cb > bytes[x] ? cb - bytes[x] : uint64_t{0};
+        return capb[x] > bytes[x] ? capb[x] - bytes[x] : uint64_t{0};
       };
       DeviceId best = 0;
       bool have = false;
       if (g > 0 || mb > 0) {
         // First fit with room for the reservation in both dimensions.
         for (DeviceId d = 0; d < devices && !have; ++d) {
-          if (!used[d] && reserved[d] + g <= capacity_ &&
-              (cb == 0 || bytes[d] + db <= cb)) {
+          if (!used[d] && reserved[d] + g <= cap[d] &&
+              (cb == 0 || bytes[d] + db <= capb[d])) {
             best = d;
             have = true;
           }

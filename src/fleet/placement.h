@@ -19,6 +19,30 @@ using workload::QosClass;
 /// Index of a GPU within one fleet simulation.
 using DeviceId = uint32_t;
 
+/// Relative serving capacity of `s` against a baseline spec: the mean
+/// of the TPC-count and VRAM-bandwidth ratios. The one formula behind
+/// FleetSim::device_perf, perf-aware placement, and the perf-normalized
+/// routers — exactly 1.0 when s == base, so homogeneous fleets divide
+/// by 1.0 everywhere and keep their decisions bit-identical.
+double relative_perf(const gpusim::GpuSpec& s, const gpusim::GpuSpec& base);
+
+/// relative_perf over a whole fleet — feed QosAwarePlacement's
+/// perf-aware constructor from FleetConfig::device_specs.
+std::vector<double> device_perf_factors(
+    const std::vector<gpusim::GpuSpec>& specs, const gpusim::GpuSpec& base);
+
+/// Per-device bin capacities for QuotaAwarePlacement on heterogeneous
+/// fleets.
+struct DeviceShape {
+  unsigned tpcs = 0;
+  uint64_t vram_bytes = 0;  // 0 = don't bin-pack memory on this device
+};
+
+/// DeviceShapes of `specs` (TPC counts, and VRAM sizes when
+/// `include_vram`).
+std::vector<DeviceShape> device_shapes(
+    const std::vector<gpusim::GpuSpec>& specs, bool include_vram = false);
+
 /// One workload replicated across the fleet: the per-device TenantSpec
 /// plus how many devices should host an instance of it.
 struct FleetTenantSpec {
@@ -76,9 +100,20 @@ class PackPlacement : public PlacementPolicy {
 /// least LS load — batch work lands where it steals the least.
 class QosAwarePlacement : public PlacementPolicy {
  public:
+  QosAwarePlacement() = default;
+  /// Perf-aware variant for heterogeneous fleets: every device's
+  /// accumulated LS load and BE count are divided by its relative
+  /// capacity (device_perf_factors) before comparison, so a 2x device
+  /// hosts ~2x the weighted load. An empty vector is the homogeneous
+  /// policy, decision-for-decision.
+  explicit QosAwarePlacement(std::vector<double> device_perf)
+      : perf_(std::move(device_perf)) {}
   std::string name() const override { return "qos-aware"; }
   Assignment place(const std::vector<FleetTenantSpec>& tenants,
                    unsigned devices) const override;
+
+ private:
+  std::vector<double> perf_;
 };
 
 /// Bin-pack by guaranteed vGPU quotas (the ParvaGPU-style spatial-quota
@@ -95,18 +130,26 @@ class QosAwarePlacement : public PlacementPolicy {
 /// dimension vanishes and placements match the TPC-only policy exactly.
 class QuotaAwarePlacement : public PlacementPolicy {
  public:
-  /// `tpcs_per_device` is the TPC bin capacity (GpuSpec::num_tpcs);
-  /// `vram_bytes` the byte bin capacity (0 = don't bin-pack memory).
+  /// Uniform bins: `tpcs_per_device` is every device's TPC capacity
+  /// (GpuSpec::num_tpcs); `vram_bytes` its byte capacity (0 = don't
+  /// bin-pack memory).
   explicit QuotaAwarePlacement(unsigned tpcs_per_device,
                                uint64_t vram_bytes = 0)
       : capacity_(tpcs_per_device), capacity_bytes_(vram_bytes) {}
+  /// Heterogeneous bins: one (TPC, byte) capacity per device
+  /// (device_shapes of FleetConfig::device_specs). Big devices
+  /// naturally absorb the big reservations — the FFD pass sees their
+  /// larger headroom. Size must equal the device count at place().
+  explicit QuotaAwarePlacement(std::vector<DeviceShape> shapes)
+      : shapes_(std::move(shapes)) {}
   std::string name() const override { return "quota-aware"; }
   Assignment place(const std::vector<FleetTenantSpec>& tenants,
                    unsigned devices) const override;
 
  private:
-  unsigned capacity_;
-  uint64_t capacity_bytes_;
+  unsigned capacity_ = 0;       // uniform TPC bins (unused with shapes_)
+  uint64_t capacity_bytes_ = 0;
+  std::vector<DeviceShape> shapes_;  // per-device bins; empty = uniform
 };
 
 /// Check an assignment is well-formed: one entry per tenant,

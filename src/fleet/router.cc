@@ -39,17 +39,27 @@ size_t rotated_min(std::vector<size_t>& cursor, unsigned tenant,
 
 }  // namespace
 
+// Heterogeneity: every load-aware router divides its load signal by
+// FleetSim::device_perf, so a device with 2x the capacity looks
+// half-loaded at equal queue depth and earns proportionally more work.
+// device_perf is exactly 1.0 on homogeneous fleets — dividing integer
+// loads (exactly representable as doubles) by 1.0 is exact, so the
+// comparisons, ties, and tie-break rotation reproduce the homogeneous
+// decisions bit-for-bit.
+
 size_t LeastOutstandingRouter::route(const FleetSim& fleet, unsigned tenant,
                                      const std::vector<Replica>& replicas) {
   return rotated_min(cursor_, tenant, replicas.size(), [&](size_t i) {
-    return fleet.outstanding(replicas[i]);
+    return static_cast<double>(fleet.outstanding(replicas[i])) /
+           fleet.device_perf(replicas[i].device);
   });
 }
 
 size_t QosLoadAwareRouter::route(const FleetSim& fleet, unsigned tenant,
                                  const std::vector<Replica>& replicas) {
   return rotated_min(cursor_, tenant, replicas.size(), [&](size_t i) {
-    return fleet.device_ls_load(replicas[i].device);
+    return fleet.device_ls_load(replicas[i].device) /
+           fleet.device_perf(replicas[i].device);
   });
 }
 
@@ -69,7 +79,8 @@ size_t WarmWeightRouter::route(const FleetSim& fleet, unsigned tenant,
         penalty = cold_penalty_;
         break;
     }
-    return fleet.outstanding(replicas[i]) + penalty;
+    return static_cast<double>(fleet.outstanding(replicas[i]) + penalty) /
+           fleet.device_perf(replicas[i].device);
   });
 }
 

@@ -65,10 +65,12 @@ class RoundRobinRouter : public Router {
 };
 
 /// Send to the replica with the fewest requests in its system (admitted
-/// + backlogged, including batch-assembly queues). Ties rotate through a
-/// per-tenant cursor: equal loads are common (an idle fleet, every
-/// startup), and the old lowest-index tie-break hot-spotted device 0
-/// under pack placement. Deterministic — no RNG in the dispatch path.
+/// + backlogged, including batch-assembly queues), perf-normalized by
+/// FleetSim::device_perf so bigger devices earn proportional work on
+/// heterogeneous fleets. Ties rotate through a per-tenant cursor: equal
+/// loads are common (an idle fleet, every startup), and the old
+/// lowest-index tie-break hot-spotted device 0 under pack placement.
+/// Deterministic — no RNG in the dispatch path.
 class LeastOutstandingRouter : public Router {
  public:
   std::string name() const override { return "least-outstanding"; }
@@ -83,10 +85,11 @@ class LeastOutstandingRouter : public Router {
 };
 
 /// Send to the replica whose *device* carries the least expected LS work
-/// (Σ outstanding × isolated latency over every LS tenant on the device)
-/// — cross-tenant aware, so a replica that is itself idle on a device
-/// hammered by a co-located tenant is avoided. Equal-load ties rotate
-/// like LeastOutstandingRouter's (cursor-based, deterministic).
+/// (Σ outstanding × isolated latency over every LS tenant on the device,
+/// perf-normalized) — cross-tenant aware, so a replica that is itself
+/// idle on a device hammered by a co-located tenant is avoided.
+/// Equal-load ties rotate like LeastOutstandingRouter's (cursor-based,
+/// deterministic).
 class QosLoadAwareRouter : public Router {
  public:
   std::string name() const override { return "qos-load-aware"; }

@@ -59,6 +59,29 @@ GpuSpec rtx_a2000() {
   return s;
 }
 
+GpuSpec a100_sxm4() {
+  GpuSpec s;
+  s.name = "A100-SXM4-40GB";
+  s.architecture = "Ampere";
+  s.vram_bytes = 40ull << 30;
+  // 5120-bit HBM2e folded to 32 pseudo-channels of 32 bits each; the
+  // bandwidth envelope below is the real part's, so per_channel_gbps()
+  // comes out ~6x an A2000 channel — the fold trades channel-count
+  // fidelity for keeping ChannelSet a machine word.
+  s.vram_bus_width_bits = 1024;
+  s.num_channels = 32;
+  s.channel_group_size = 2;
+  s.linear_hash = false;
+  s.hash_key = 0xa100a100a1ull;
+  s.num_tpcs = 54;
+  s.sms_per_tpc = 2;
+  s.peak_tflops = 19.5;
+  s.l2_bytes = 40ull << 20;
+  s.vram_gbps = 1555.0;
+  s.cache_noise_rate = 0.05;
+  return s;
+}
+
 GpuSpec test_gpu() {
   GpuSpec s;
   s.name = "TestGPU";

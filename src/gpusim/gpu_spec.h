@@ -89,6 +89,14 @@ GpuSpec tesla_p40();
 /// groups, non-linear hash, ~5 % cache noise).
 GpuSpec rtx_a2000();
 
+/// NVIDIA A100-SXM4-40GB (Ampere, 40 GiB HBM2e). The HBM stacks are
+/// modelled at pseudo-channel granularity, folded to the simulator's
+/// 32-channel ceiling (ChannelSet is 32 bits wide); per-channel bandwidth
+/// is scaled so the full-GPU envelope (~1555 GB/s) is preserved. The
+/// datacenter counterpart to rtx_a2000() for heterogeneous fleets: ~4x
+/// the TPCs, ~5x the VRAM bandwidth of the workstation part.
+GpuSpec a100_sxm4();
+
 /// Small synthetic part for fast unit tests (512 MiB, 4 channels).
 GpuSpec test_gpu();
 

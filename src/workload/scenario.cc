@@ -64,6 +64,30 @@ Scenario& Scenario::devices(unsigned n) {
   return *this;
 }
 
+Scenario& Scenario::hardware(std::vector<gpusim::GpuSpec> specs) {
+  SGDRC_REQUIRE(!specs.empty(), "hardware needs at least one device spec");
+  devices_ = static_cast<unsigned>(specs.size());
+  device_specs_ = std::move(specs);
+  return *this;
+}
+
+Scenario& Scenario::front_door(fleet::FrontDoorConfig cfg) {
+  SGDRC_REQUIRE(cfg.enabled, "Scenario::front_door needs an enabled config");
+  front_door_ = cfg;
+  return *this;
+}
+
+Scenario& Scenario::fail_device(TimeNs at, fleet::DeviceId device) {
+  SGDRC_REQUIRE(at < duration_, "device failure past the scenario end");
+  failures_.push_back({at, device});
+  return *this;
+}
+
+Scenario& Scenario::priority(unsigned tenant_index, int priority) {
+  priorities_.push_back({tenant_index, priority});
+  return *this;
+}
+
 Scenario& Scenario::autoscale(fleet::AutoscalerOptions opt) {
   autoscale_ = true;
   autoscaler_opt_ = opt;
@@ -232,9 +256,19 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
     SGDRC_REQUIRE(q.tenant < tenant_space,
                   "quota change references an unknown tenant");
   }
+  for (const auto& f : scenario.device_failures()) {
+    SGDRC_REQUIRE(f.device < scenario.device_count(),
+                  "device failure references an unknown device");
+  }
+  for (const auto& p : scenario.priorities()) {
+    SGDRC_REQUIRE(p.tenant < initial.size(),
+                  "priority references a non-initial tenant");
+  }
 
   fleet::FleetConfig fcfg;
   fcfg.spec = cfg.spec;
+  fcfg.device_specs = scenario.device_specs();  // empty = homogeneous
+  fcfg.front_door = scenario.front_door_config();
   fcfg.exec_params = cfg.exec_params;
   fcfg.devices = scenario.device_count();
   fcfg.ls_instances = cfg.ls_instances;
@@ -268,6 +302,12 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
   for (const ScenarioTenant& t : initial) {
     tenants.push_back(fleet::replicated(armed(t.spec), t.replicas));
   }
+  // Shed-protection tiers are construction state, not events: the spec
+  // is amended before the fleet is built, so the door (and any
+  // priority-sensitive controller) sees it from the first request.
+  for (const auto& p : scenario.priorities()) {
+    tenants[p.tenant].spec.vgpu.priority = p.priority;
+  }
 
   fleet::FleetSim sim(fcfg, std::move(tenants), placement, router,
                       make_policy);
@@ -293,6 +333,9 @@ ScenarioOutcome run_scenario(const Scenario& scenario,
   }
   for (const auto& q : scenario.quota_changes()) {
     sim.at(q.at, [&sim, q] { sim.set_fleet_vgpu(q.tenant, q.vgpu); });
+  }
+  for (const auto& f : scenario.device_failures()) {
+    sim.at(f.at, [&sim, f] { sim.fail_device(f.device); });
   }
   for (const Request& r : trace) {
     if (r.arrival >= scenario.duration()) continue;
@@ -418,6 +461,80 @@ std::vector<Scenario> scenario_catalog(const ScenarioCatalogOptions& opt) {
       zoo.depart((3 * d) / 4, opt.initial_tenants + 1);
     }
     out.push_back(std::move(zoo));
+  }
+
+  {
+    // The heterogeneity axis: the same sine day as `diurnal`, but on a
+    // mixed fleet — perf-aware placement and routing should keep the
+    // faster devices proportionally busier through both shoulders.
+    Scenario hetero("hetero-diurnal",
+                    "the diurnal sine day on a mixed fleet (per-device "
+                    "GpuSpecs); perf-aware policies keep big devices "
+                    "proportionally busier",
+                    d);
+    if (!opt.hetero_specs.empty()) {
+      hetero.hardware(opt.hetero_specs);
+    } else {
+      hetero.devices(opt.devices);
+    }
+    hetero.diurnal(0.4, 1.6, 8);
+    out.push_back(std::move(hetero));
+  }
+
+  {
+    // The overload axis: an 8x all-service spike that no placement can
+    // absorb — the interesting question is *how* the fleet degrades.
+    // With the front door armed, degradation must be QoS-ordered: BE
+    // pauses first, then low-priority LS sheds, and the premium tier
+    // (service 0, priority 2) keeps attainment longest.
+    Scenario overload("flash-overload",
+                      "an 8x beyond-capacity spike on a mixed fleet; the "
+                      "front door sheds BE first, then low-priority LS — "
+                      "the premium tier degrades last",
+                      d);
+    if (!opt.hetero_specs.empty()) {
+      overload.hardware(opt.hetero_specs);
+    } else {
+      overload.devices(opt.devices);
+    }
+    overload.rate(Scenario::kAllServices, (2 * d) / 5, 8.0)
+        .rate(Scenario::kAllServices, (7 * d) / 10, 1.0)
+        .priority(0, 2);
+    if (opt.front_door.enabled) overload.front_door(opt.front_door);
+    out.push_back(std::move(overload));
+  }
+
+  {
+    // The client-behaviour axis: a tight per-service token bucket keeps
+    // rejecting a 3x surge, and every rejection schedules a backed-off
+    // retry — the herd the backoff-and-jitter model must disperse
+    // instead of re-synchronising.
+    Scenario storm("retry-storm",
+                   "a 3x surge against a tight admission bucket; rejected "
+                   "clients retry with exponential backoff + jitter",
+                   d);
+    storm.devices(opt.devices)
+        .rate(Scenario::kAllServices, d / 4, 3.0)
+        .rate(Scenario::kAllServices, (3 * d) / 5, 1.0);
+    if (opt.admission_door.enabled) storm.front_door(opt.admission_door);
+    out.push_back(std::move(storm));
+  }
+
+  {
+    // The availability axis: a device is cordoned mid-run (replicas
+    // drain, routing and the autoscaler avoid it) and the survivors
+    // must absorb its share — with the front door shedding whatever
+    // they cannot.
+    Scenario failure("device-failure",
+                     "device 1 is cordoned at 40% of the run; a reactive "
+                     "autoscaler re-spreads load onto the survivors",
+                     d);
+    failure.devices(opt.devices + 1).fail_device((2 * d) / 5, 1);
+    fleet::AutoscalerOptions aso;
+    aso.interval = d / 50;
+    failure.autoscale(aso);
+    if (opt.front_door.enabled) failure.front_door(opt.front_door);
+    out.push_back(std::move(failure));
   }
 
   return out;

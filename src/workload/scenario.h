@@ -73,6 +73,22 @@ class Scenario {
                       control::VgpuSpec vgpu);
   /// Fleet size the scenario expects (default 2).
   Scenario& devices(unsigned n);
+  /// Heterogeneous fleet: one GpuSpec per device (also sets the device
+  /// count). run_scenario forwards these as FleetConfig::device_specs;
+  /// perf-aware placement/routing normalize by the engine-config
+  /// baseline spec.
+  Scenario& hardware(std::vector<gpusim::GpuSpec> specs);
+  /// Arm the overload front door (admission control, QoS-ordered
+  /// shedding, retry storms) for this scenario's fleet.
+  Scenario& front_door(fleet::FrontDoorConfig cfg);
+  /// Cordon a device mid-run (FleetSim::fail_device): its replicas
+  /// drain, routing and scaling avoid it from `at` on.
+  Scenario& fail_device(TimeNs at, fleet::DeviceId device);
+  /// Shed-protection tier of an *initial* tenant (VgpuSpec::priority;
+  /// higher sheds later). Applied to the tenant spec before the fleet
+  /// is built — no control event, no effect unless the front door (or
+  /// a priority-sensitive controller) reads it.
+  Scenario& priority(unsigned tenant_index, int priority);
   /// Put a reactive autoscaler in the loop.
   Scenario& autoscale(fleet::AutoscalerOptions opt);
   /// Arm dynamic request batching on every LS tenant of the run (initial
@@ -110,6 +126,14 @@ class Scenario {
     unsigned tenant = 0;
     control::VgpuSpec vgpu;
   };
+  struct DeviceFailure {
+    TimeNs at = 0;
+    fleet::DeviceId device = 0;
+  };
+  struct PriorityChange {
+    unsigned tenant = 0;
+    int priority = 0;
+  };
 
   const std::string& name() const { return name_; }
   const std::string& description() const { return description_; }
@@ -130,6 +154,19 @@ class Scenario {
   const std::vector<QuotaChange>& quota_changes() const {
     return quota_changes_;
   }
+  /// Empty = homogeneous (the engine-config spec on every device).
+  const std::vector<gpusim::GpuSpec>& device_specs() const {
+    return device_specs_;
+  }
+  const fleet::FrontDoorConfig& front_door_config() const {
+    return front_door_;
+  }
+  const std::vector<DeviceFailure>& device_failures() const {
+    return failures_;
+  }
+  const std::vector<PriorityChange>& priorities() const {
+    return priorities_;
+  }
 
  private:
   std::string name_;
@@ -140,11 +177,15 @@ class Scenario {
   fleet::AutoscalerOptions autoscaler_opt_;
   BatchPolicy ls_batching_;        // default: disabled
   memory::MemoryOptions memory_;   // default: disabled
+  std::vector<gpusim::GpuSpec> device_specs_;  // empty = homogeneous
+  fleet::FrontDoorConfig front_door_;          // default: disabled
   std::vector<RateStep> rate_steps_;
   std::vector<Arrival> arrivals_;
   std::vector<Departure> departures_;
   std::vector<SloChange> slo_changes_;
   std::vector<QuotaChange> quota_changes_;
+  std::vector<DeviceFailure> failures_;
+  std::vector<PriorityChange> priorities_;
 };
 
 /// The substrate a scenario runs on. slo_multiplier must be explicit
@@ -208,12 +249,31 @@ struct ScenarioCatalogOptions {
   /// VRAM pressure). Leave disabled to get the scenario without memory
   /// modeling (it then degenerates to a churn workload).
   memory::MemoryOptions model_zoo_memory;
+  /// Per-device specs for the heterogeneous scenarios (hetero-diurnal,
+  /// flash-overload). Empty = those scenarios run homogeneous on
+  /// `devices` devices, like the rest of the catalog.
+  std::vector<gpusim::GpuSpec> hetero_specs;
+  /// Shed-oriented front door for the overload scenarios
+  /// (flash-overload, device-failure): queue-depth BE pause + LS shed
+  /// bounds and the retry model. Leave disabled to watch them degrade
+  /// by unbounded queueing instead (the pre-front-door behaviour).
+  fleet::FrontDoorConfig front_door;
+  /// Admission-oriented front door for `retry-storm`: a tight
+  /// per-service token bucket whose rejections drive the retry herd.
+  fleet::FrontDoorConfig admission_door;
 };
 
-/// The stock library of ~8 named dynamic scenarios: steady, diurnal,
-/// flash-crowd (5× spike + autoscaler), tenant-churn, BE-backfill-surge,
-/// SLO-tighten, batching, and model-zoo (weight residency under VRAM
-/// pressure).
+/// The stock scenario names scenario_catalog() emits, in order — the
+/// single source docs/scenarios.md and the sweep's gates key on.
+inline constexpr unsigned kStockScenarioCount = 12;
+
+/// The stock library of 12 named dynamic scenarios (docs/scenarios.md
+/// catalogs each): steady, diurnal, flash-crowd (5× spike +
+/// autoscaler), tenant-churn, BE-backfill-surge, SLO-tighten, batching,
+/// model-zoo (weight residency under VRAM pressure), hetero-diurnal
+/// (the sine day on a mixed fleet), flash-overload (beyond-capacity
+/// spike through the front door), retry-storm (tight admission + client
+/// backoff), and device-failure (mid-run cordon + recovery).
 std::vector<Scenario> scenario_catalog(const ScenarioCatalogOptions& opt);
 
 }  // namespace sgdrc::workload

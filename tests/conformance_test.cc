@@ -13,6 +13,9 @@
 
 #include "baselines/registry.h"
 #include "core/harness.h"
+#include "fleet/fleet.h"
+#include "fleet/placement.h"
+#include "fleet/router.h"
 #include "models/zoo.h"
 
 namespace sgdrc::core {
@@ -175,6 +178,78 @@ TEST_P(ConformanceTest, InvariantsHoldUnderResidencyChurn) {
   const auto controller2 = sys.make(h.options().spec);
   auto sim2 = build(*controller2);
   expect_identical(m, sim2->run(h.trace()), sys.name);
+}
+
+TEST_P(ConformanceTest, FrontDoorConservesRequestsUnderOverload) {
+  // A 2-device fleet driven through an armed front door with a bucket
+  // tight enough to reject, depths low enough to shed, and a retry
+  // budget that produces drops — on every registered system. Whatever
+  // the controller does on-device, the door's books must balance:
+  //
+  //   * door level: every first-attempt arrival terminates as admitted
+  //     or dropped, or sits in a scheduled retry at the horizon
+  //     (arrived == admitted + dropped + pending_retries);
+  //   * device level: every admitted request reaches a device unless
+  //     its dispatch hop crossed the horizon (admitted == Σ LS device
+  //     arrivals + expired);
+  //   * tenant level: arrived == served + still-outstanding at the cut,
+  //     exactly as in the single-device conformance above.
+  const auto& sys = baselines::system_registry()[GetParam()];
+  const ServingHarness& h = mini_harness();
+
+  fleet::FleetConfig cfg;
+  cfg.spec = h.options().spec;
+  cfg.devices = 2;
+  cfg.duration = h.options().duration;
+  cfg.slo_multiplier = static_cast<double>(h.ls_count() + 1);
+  cfg.seed = 0xd00f;
+  cfg.dispatch_latency = 2 * kNsPerUs;
+  cfg.dispatch_jitter = 3 * kNsPerUs;
+  cfg.front_door.enabled = true;
+  cfg.front_door.admit_rate = 150.0;
+  cfg.front_door.admit_burst = 4.0;
+  cfg.front_door.be_pause_depth = 4;
+  cfg.front_door.shed_depth = 8;
+  cfg.front_door.max_retries = 2;
+
+  std::vector<fleet::FleetTenantSpec> tenants;
+  for (size_t i = 0; i < h.ls_count(); ++i) {
+    tenants.push_back(fleet::replicated(
+        latency_sensitive_tenant(
+            sys.uses_spt ? h.ls_model_spt(i) : h.ls_model(i),
+            h.isolated_latency(i)),
+        2));
+  }
+  for (size_t i = 0; i < h.be_count(); ++i) {
+    tenants.push_back(fleet::replicated(
+        best_effort_tenant(sys.uses_spt ? h.be_model_spt(i)
+                                        : h.be_model(i)),
+        2));
+  }
+  fleet::SpreadPlacement spread;
+  fleet::QosLoadAwareRouter router;
+  fleet::FleetSim fleet(cfg, tenants, spread, router, sys.make);
+  const auto m = fleet.run(h.trace());
+  const auto& fd = m.front_door;
+
+  // The door must actually have worked for the books to mean anything.
+  EXPECT_GT(fd.arrived, 0u) << sys.name;
+  EXPECT_GT(fd.rejected, 0u) << sys.name;
+  EXPECT_EQ(fd.arrived, fd.admitted + fd.dropped + fd.pending_retries)
+      << sys.name;
+
+  uint64_t device_arrivals = 0;
+  for (size_t t = 0; t < m.tenants.size(); ++t) {
+    const auto& tm = m.tenants[t];
+    if (tm.qos != workload::QosClass::kLatencySensitive) continue;
+    device_arrivals += tm.arrived;
+    uint64_t outstanding = 0;
+    for (const auto& rep : fleet.replicas_of(static_cast<unsigned>(t))) {
+      outstanding += fleet.outstanding(rep);
+    }
+    EXPECT_EQ(tm.arrived, tm.served + outstanding) << sys.name;
+  }
+  EXPECT_EQ(fd.admitted, device_arrivals + fd.expired) << sys.name;
 }
 
 INSTANTIATE_TEST_SUITE_P(

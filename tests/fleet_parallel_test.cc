@@ -196,6 +196,64 @@ TEST(FleetParallel, BitIdenticalUnderScriptedChurn) {
   }
 }
 
+// ------------------------------- overload front door, retry storms ----
+
+/// A fleet driven past capacity through the front door: a tight
+/// admission bucket plus queue-depth shedding produce rejections,
+/// retries (with jittered backoff), BE pauses, and drops — every
+/// front-door code path — while the QoS router reads live device state.
+/// Optionally heterogeneous, so perf-normalized routing and per-device
+/// specs are under the same serial-vs-parallel microscope.
+std::string run_overload(bool parallel, unsigned threads, bool hetero) {
+  const TimeNs duration = 60 * kNsPerMs;
+  FleetConfig cfg = base_config(4, duration);
+  cfg.engine.parallel = parallel;
+  cfg.engine.threads = threads;
+  if (hetero) {
+    cfg.device_specs = {zoo().spec, gpusim::a100_sxm4(), zoo().spec,
+                        gpusim::a100_sxm4()};
+  }
+  cfg.front_door.enabled = true;
+  cfg.front_door.admit_rate = 400.0;
+  cfg.front_door.admit_burst = 4.0;
+  cfg.front_door.be_pause_depth = 4;
+  cfg.front_door.shed_depth = 8;
+  cfg.front_door.max_retries = 2;
+  SpreadPlacement spread;
+  QosLoadAwareRouter router;
+  FleetSim fleet(cfg, mixed_tenants(4), spread, router, sgdrc_factory());
+  EXPECT_EQ(fleet.parallel(), parallel);
+  const FleetMetrics m = fleet.run(shared_trace(duration));
+  const auto& fd = m.front_door;
+  // The storm must actually storm, or the digest compares idle doors.
+  EXPECT_GT(fd.rejected, 0u);
+  EXPECT_GT(fd.retries, 0u);
+  std::ostringstream os;
+  os << digest(m) << "door arrived=" << fd.arrived << " admitted="
+     << fd.admitted << " rejected=" << fd.rejected << " shed=" << fd.shed
+     << " retries=" << fd.retries << " dropped=" << fd.dropped
+     << " expired=" << fd.expired << " pending=" << fd.pending_retries
+     << " pauses=" << fd.be_pause_events << " paused_ns="
+     << fd.be_paused_ns << '\n';
+  return os.str();
+}
+
+TEST(FleetParallel, BitIdenticalThroughRetryStorm) {
+  const std::string serial = run_overload(false, 0, false);
+  for (const unsigned threads : {2u, 5u}) {
+    EXPECT_EQ(serial, run_overload(true, threads, false))
+        << "retry storm diverged at " << threads << " threads";
+  }
+}
+
+TEST(FleetParallel, BitIdenticalThroughRetryStormOnHeteroFleet) {
+  const std::string serial = run_overload(false, 0, true);
+  for (const unsigned threads : {2u, 5u}) {
+    EXPECT_EQ(serial, run_overload(true, threads, true))
+        << "hetero retry storm diverged at " << threads << " threads";
+  }
+}
+
 // ------------------------------------------------------- defaults ----
 
 TEST(FleetParallel, SerialIsTheDefaultAndSingleDeviceStaysSerial) {

@@ -339,7 +339,7 @@ TEST(ScenarioRun, AutoscalerConvergesOnFlashCrowd) {
   EXPECT_GT(last.at, up->at);
 }
 
-TEST(ScenarioCatalog, ShipsTheEightStockScenarios) {
+TEST(ScenarioCatalog, ShipsTheTwelveStockScenarios) {
   const auto& z = zoo();
   ScenarioCatalogOptions opt;
   opt.duration = 500 * kNsPerMs;
@@ -352,8 +352,15 @@ TEST(ScenarioCatalog, ShipsTheEightStockScenarios) {
   opt.make_be_arrival = [&](unsigned) {
     return ScenarioTenant{best_effort_tenant(z.be_i), 0.0, 1};
   };
+  opt.hetero_specs = {z.spec, gpusim::a100_sxm4()};
+  opt.front_door.enabled = true;
+  opt.front_door.be_pause_depth = 8;
+  opt.front_door.shed_depth = 16;
+  opt.admission_door.enabled = true;
+  opt.admission_door.admit_rate = 100.0;
   const auto catalog = scenario_catalog(opt);
-  ASSERT_EQ(catalog.size(), 8u);
+  ASSERT_EQ(catalog.size(), kStockScenarioCount);
+  ASSERT_EQ(catalog.size(), 12u);
   EXPECT_EQ(catalog[0].name(), "steady");
   EXPECT_EQ(catalog[1].name(), "diurnal");
   EXPECT_EQ(catalog[2].name(), "flash-crowd");
@@ -373,10 +380,43 @@ TEST(ScenarioCatalog, ShipsTheEightStockScenarios) {
   // No model_zoo_memory in the options: the scenario ships without a
   // memory override (and run_scenario then uses the engine default).
   EXPECT_FALSE(catalog[7].memory_options().enabled);
+  EXPECT_EQ(catalog[8].name(), "hetero-diurnal");
+  EXPECT_EQ(catalog[8].device_specs().size(), 2u);
+  EXPECT_EQ(catalog[8].device_count(), 2u);
+  EXPECT_EQ(catalog[8].device_specs()[1].name, "A100-SXM4-40GB");
+  EXPECT_EQ(catalog[9].name(), "flash-overload");
+  EXPECT_EQ(catalog[9].device_specs().size(), 2u);
+  EXPECT_TRUE(catalog[9].front_door_config().enabled);
+  EXPECT_EQ(catalog[9].front_door_config().shed_depth, 16u);
+  ASSERT_EQ(catalog[9].priorities().size(), 1u);
+  EXPECT_EQ(catalog[9].priorities()[0].tenant, 0u);
+  EXPECT_EQ(catalog[9].priorities()[0].priority, 2);
+  EXPECT_EQ(catalog[10].name(), "retry-storm");
+  EXPECT_TRUE(catalog[10].front_door_config().enabled);
+  EXPECT_EQ(catalog[10].front_door_config().admit_rate, 100.0);
+  EXPECT_EQ(catalog[11].name(), "device-failure");
+  EXPECT_TRUE(catalog[11].autoscaled());
+  EXPECT_EQ(catalog[11].device_count(), opt.devices + 1);
+  ASSERT_EQ(catalog[11].device_failures().size(), 1u);
+  EXPECT_EQ(catalog[11].device_failures()[0].device, 1u);
   for (const auto& sc : catalog) {
     EXPECT_EQ(sc.duration(), opt.duration);
     EXPECT_FALSE(sc.description().empty());
   }
+}
+
+TEST(ScenarioCatalog, OverloadScenariosDegradeGracefullyWithoutOptions) {
+  // An empty options struct must still mint all 12 scenarios: the
+  // hetero pair runs homogeneous and the overload pair runs with the
+  // door disabled (degrading by queueing), not crash or disappear.
+  ScenarioCatalogOptions opt;
+  opt.duration = 200 * kNsPerMs;
+  const auto catalog = scenario_catalog(opt);
+  ASSERT_EQ(catalog.size(), kStockScenarioCount);
+  EXPECT_TRUE(catalog[8].device_specs().empty());
+  EXPECT_FALSE(catalog[9].front_door_config().enabled);
+  EXPECT_FALSE(catalog[10].front_door_config().enabled);
+  EXPECT_FALSE(catalog[11].front_door_config().enabled);
 }
 
 TEST(ScenarioRun, ScriptedQuotaChangeIsAppliedAndRespected) {

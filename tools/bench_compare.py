@@ -21,7 +21,10 @@ bench/baselines/ and fails (exit 1) when
     matches_serial == true (parallel bit-identical to serial), and on
     machines with >= 8 hardware threads the parallel speedup must be
     >= 3x (the speedup check is skipped on narrower machines, where the
-    number measures the box, not the code). See docs/bench-json.md.
+    number measures the box, not the code); scenario_sweep's
+    overload_order_ok must hold (flash-overload degrades in QoS order)
+    and its front-door records must conserve requests (arrived ==
+    admitted + dropped + pending_retries). See docs/bench-json.md.
 
 The simulation is deterministic (fixed seeds, integer-ns clocks), so in
 practice current == baseline exactly; the tolerances exist so a genuine
@@ -103,8 +106,43 @@ def validate_fleet(doc, name):
     return failures
 
 
+def validate_scenarios(doc, name):
+    """Absolute invariants of the CURRENT scenario_sweep output:
+
+    * overload_order_ok (the flash-overload QoS-ordered-degradation gate
+      the bench itself computes — BE pauses first, low-priority LS sheds
+      next, the premium tier sheds least and keeps the highest demand
+      attainment) must be true whenever the bench emits it, and
+    * every front-door record must conserve requests: each first-attempt
+      arrival terminates as admitted or dropped, or sits in a scheduled
+      retry at the horizon (arrived == admitted + dropped +
+      pending_retries). Rejected/shed are per-attempt event counts, not
+      terminal outcomes, so they are deliberately outside the identity.
+    """
+    failures = []
+    if doc.get("overload_order_ok") is False:
+        failures.append(
+            f"{name}: flash-overload degradation is not QoS-ordered "
+            "(overload_order_ok is false)")
+    for sc in doc.get("scenarios", []):
+        for system in sc.get("systems", []):
+            door = system.get("front_door")
+            if not door:
+                continue
+            arrived = door.get("arrived", 0)
+            accounted = (door.get("admitted", 0) + door.get("dropped", 0)
+                         + door.get("pending_retries", 0))
+            if arrived != accounted:
+                failures.append(
+                    f"{name}: {sc['name']}/{system['name']}: front door "
+                    f"leaked requests: arrived {arrived} != admitted + "
+                    f"dropped + pending_retries {accounted}")
+    return failures
+
+
 VALIDATORS = {
     "fleet_scaling": validate_fleet,
+    "scenario_sweep": validate_scenarios,
 }
 
 
@@ -120,13 +158,23 @@ def records_fig17(doc):
 
 
 def records_scenarios(doc):
-    """scenario_sweep: one record per (scenario, system)."""
+    """scenario_sweep: one record per (scenario, system). Front-door
+    scenarios (flash-overload, retry-storm, device-failure) add one
+    sub-record per LS service gating its demand attainment (attained /
+    door arrivals — counts shed and dropped requests against the tier,
+    so a hard-shedding service cannot look healthy by serving little)."""
     for sc in doc.get("scenarios", []):
         for system in sc.get("systems", []):
-            yield ("scenario", sc["name"], system["name"]), {
+            base = ("scenario", sc["name"], system["name"])
+            yield base, {
                 "p99_ms": system.get("fleet_p99_ms"),
                 "be": system.get("be_samples_per_s"),
             }
+            door = system.get("front_door") or {}
+            for svc in door.get("services", []):
+                yield base + ("svc", svc["service"]), {
+                    "att": svc.get("demand_attainment"),
+                }
 
 
 def records_vgpu(doc):

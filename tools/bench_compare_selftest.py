@@ -76,6 +76,47 @@ BASELINE_FLEET = {
 }
 
 
+BASELINE_SCENARIOS = {
+    "bench": "scenario_sweep",
+    "quick": True,
+    "duration_ms": 240.0,
+    "sgdrc_wins_vs_best_static": 2,
+    "overload_order_ok": True,
+    "scenario_count": 2,
+    "scenarios": [
+        {"name": "steady", "description": "constant load", "devices": 2,
+         "autoscaled": False,
+         "systems": [
+             {"name": "SGDRC", "fleet_p99_ms": 2.6, "slo_attainment": 1.0,
+              "ls_goodput_per_s": 940.0, "be_samples_per_s": 297.0,
+              "requests": 230, "scaling_actions": 0},
+         ]},
+        {"name": "flash-overload", "description": "8x spike", "devices": 2,
+         "autoscaled": False,
+         "device_specs": ["RTX-A2000", "A100-SXM4-40GB"],
+         "front_door": True,
+         "systems": [
+             {"name": "SGDRC", "fleet_p99_ms": 4.7, "slo_attainment": 0.95,
+              "ls_goodput_per_s": 2300.0, "be_samples_per_s": 331.0,
+              "requests": 639, "scaling_actions": 0,
+              "front_door": {
+                  "arrived": 639, "admitted": 610, "rejected": 0,
+                  "shed": 61, "retries": 50, "dropped": 25,
+                  "expired": 0, "pending_retries": 4,
+                  "be_pause_events": 7, "be_paused_ms": 48.3,
+                  "services": [
+                      {"service": 0, "arrived": 192, "admitted": 192,
+                       "rejected": 0, "shed": 0, "dropped": 0,
+                       "attainment": 0.99, "demand_attainment": 0.99},
+                      {"service": 1, "arrived": 226, "admitted": 201,
+                       "rejected": 0, "shed": 30, "dropped": 12,
+                       "attainment": 0.97, "demand_attainment": 0.86},
+                  ]}},
+         ]},
+    ],
+}
+
+
 def run_gate(baseline, current, name="BENCH_vgpu.json"):
     with tempfile.TemporaryDirectory() as tmp:
         bdir = pathlib.Path(tmp) / "baseline"
@@ -233,6 +274,45 @@ def main():
     rc, out = run_gate(BASELINE_FLEET, cur, name=flt)
     checks.append(expect("fleet: sweep p99 regression still fails", rc, out,
                          True, "p99"))
+
+    # ---- scenario_sweep front-door extractor + absolute validator ----
+    scn = "BENCH_scenarios.json"
+    rc, out = run_gate(BASELINE_SCENARIOS, BASELINE_SCENARIOS, name=scn)
+    checks.append(expect("scenarios: identical output passes", rc, out,
+                         False))
+
+    # The overload gate is an absolute invariant of the current output:
+    # a flash-overload run that stops degrading in QoS order fails even
+    # if every relative number is within tolerance.
+    cur = copy.deepcopy(BASELINE_SCENARIOS)
+    cur["overload_order_ok"] = False
+    rc, out = run_gate(BASELINE_SCENARIOS, cur, name=scn)
+    checks.append(expect("scenarios: overload order broken fails", rc, out,
+                         True, "QoS-ordered"))
+
+    # Conservation: arrived == admitted + dropped + pending_retries for
+    # every front-door record — a leak is a front-door accounting bug.
+    cur = copy.deepcopy(BASELINE_SCENARIOS)
+    cur["scenarios"][1]["systems"][0]["front_door"]["dropped"] = 0
+    rc, out = run_gate(BASELINE_SCENARIOS, cur, name=scn)
+    checks.append(expect("scenarios: front-door leak fails", rc, out, True,
+                         "leaked requests"))
+
+    # Demand attainment counts shed/dropped requests against the tier;
+    # it lapsing to null (zero door arrivals) is data loss, not a pass.
+    cur = copy.deepcopy(BASELINE_SCENARIOS)
+    svc = cur["scenarios"][1]["systems"][0]["front_door"]["services"][1]
+    svc["demand_attainment"] = None
+    rc, out = run_gate(BASELINE_SCENARIOS, cur, name=scn)
+    checks.append(expect("scenarios: demand attainment -> null fails", rc,
+                         out, True, "attainment was"))
+
+    # A front-door per-service record disappearing shrinks the gate.
+    cur = copy.deepcopy(BASELINE_SCENARIOS)
+    del cur["scenarios"][1]["systems"][0]["front_door"]["services"][1]
+    rc, out = run_gate(BASELINE_SCENARIOS, cur, name=scn)
+    checks.append(expect("scenarios: dropped service record fails", rc, out,
+                         True, "missing from current output"))
 
     if not all(checks):
         print("bench_compare selftest FAILED")

@@ -17,6 +17,9 @@
 //
 // --quick shrinks the sweep for CI smoke runs; --json emits the full
 // result grid machine-readably (the BENCH_fleet.json artifact).
+// sgdrc-lint: allow-file(wall-clock) — the throughput section measures
+// the *machine* (events/sec, sim-seconds per wall-second), the one place
+// wall-clock belongs; simulated results never depend on it.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>

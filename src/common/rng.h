@@ -15,11 +15,19 @@
 
 namespace sgdrc {
 
+/// The golden-ratio increment (2^64/φ): splitmix64's own Weyl constant,
+/// and the repo-wide stride for deriving per-index seed streams —
+/// seed_i = splitmix64(base + kGoldenSeedStride * (i + 1)) (fleet
+/// device seeds, scenario segment seeds). Derived-stream salts are
+/// named constants like this one so docs/determinism.md can enumerate
+/// every stream (enforced by sgdrc-lint's `rng-seed-literal` check).
+constexpr uint64_t kGoldenSeedStride = 0x9E3779B97F4A7C15ull;
+
 /// SplitMix64: tiny, high-quality 64-bit mixer. Used both as a stream
 /// seeder and as the keyed integer hash inside the simulated GPU's
 /// address-mapping "gate circuits".
 constexpr uint64_t splitmix64(uint64_t x) {
-  x += 0x9E3779B97F4A7C15ull;
+  x += kGoldenSeedStride;
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
   return x ^ (x >> 31);

@@ -243,6 +243,7 @@ gpusim::TpcMask ServingSim::guaranteed_union(QosClass qos) const {
 }
 
 void ServingSim::set_vgpu(TenantId t, const control::VgpuSpec& vgpu) {
+  shard_guard_.assert_mutable("set_vgpu");
   SGDRC_REQUIRE(t < tenants_.size(), "unknown tenant");
   SGDRC_REQUIRE(active_[t], "cannot re-plan a removed tenant");
   // Validate the prospective state before touching anything, so a
@@ -282,6 +283,7 @@ void ServingSim::set_vgpu(TenantId t, const control::VgpuSpec& vgpu) {
 }
 
 TenantId ServingSim::add_tenant(const TenantSpec& spec) {
+  shard_guard_.assert_mutable("add_tenant");
   tenants_.push_back(spec);
   const TenantId t = static_cast<TenantId>(tenants_.size() - 1);
   register_tenant(t);
@@ -290,6 +292,7 @@ TenantId ServingSim::add_tenant(const TenantSpec& spec) {
 }
 
 void ServingSim::remove_tenant(TenantId t) {
+  shard_guard_.assert_mutable("remove_tenant");
   SGDRC_REQUIRE(t < tenants_.size(), "unknown tenant");
   SGDRC_REQUIRE(active_[t], "tenant already removed");
   active_[t] = 0;
@@ -327,6 +330,7 @@ void ServingSim::remove_tenant(TenantId t) {
 }
 
 void ServingSim::set_be_paused(bool paused) {
+  shard_guard_.assert_mutable("set_be_paused");
   if (be_paused_ == paused) return;
   be_paused_ = paused;
   if (paused) {
@@ -343,6 +347,7 @@ void ServingSim::set_be_paused(bool paused) {
 }
 
 void ServingSim::set_slo(TenantId t, TimeNs slo) {
+  shard_guard_.assert_mutable("set_slo");
   SGDRC_REQUIRE(t < tenants_.size() &&
                     tenants_[t].qos == QosClass::kLatencySensitive,
                 "SLOs apply to LS tenants");
@@ -365,11 +370,13 @@ workload::ServingMetrics ServingSim::run(
 }
 
 void ServingSim::begin() {
+  shard_guard_.assert_mutable("begin");
   metrics_.duration = cfg_.duration;
   poke();  // let the policy start the BE closed loops immediately
 }
 
 workload::ServingMetrics ServingSim::finish() {
+  shard_guard_.assert_mutable("finish");
   stopped_ = true;
   return metrics_;
 }
@@ -382,12 +389,18 @@ workload::ServingMetrics ServingSim::finish() {
 // shard never observes another's state.
 
 size_t ServingSim::run_shard_until_before(TimeNs t) {
+  ShardGuard::WindowScope window(shard_guard_, "run_shard_until_before");
   return queue_.run_until_before(t);
 }
 
-size_t ServingSim::run_shard_until(TimeNs t) { return queue_.run_until(t); }
+size_t ServingSim::run_shard_until(TimeNs t) {
+  ShardGuard::WindowScope window(shard_guard_, "run_shard_until");
+  return queue_.run_until(t);
+}
 
 std::optional<TimeNs> ServingSim::next_shard_event() {
+  // Mutating despite the name: surfacing tombstones pops the heap.
+  ShardGuard::WindowScope window(shard_guard_, "next_shard_event");
   return queue_.peek_next_time();
 }
 
@@ -398,6 +411,7 @@ void ServingSim::arrive(const Request& r) {
 }
 
 void ServingSim::inject(TenantId t, TimeNs arrival) {
+  shard_guard_.assert_mutable("inject");
   SGDRC_REQUIRE(t < tenants_.size() &&
                     tenants_[t].qos == QosClass::kLatencySensitive,
                 "inject targets an LS tenant");
@@ -792,6 +806,7 @@ LaunchSpec ServingSim::compile_allocation(
 }
 
 void ServingSim::apply(const control::ResourcePlan& plan) {
+  shard_guard_.assert_mutable("apply");
   // A plan traced off a legacy imperative policy already acted on the
   // sim; re-applying would double-launch. It is a log, not a request.
   if (plan.pre_applied) return;

@@ -22,6 +22,7 @@
 
 #include "common/event_queue.h"
 #include "common/rng.h"
+#include "common/shard_guard.h"
 #include "control/vgpu.h"
 #include "gpusim/executor.h"
 #include "gpusim/gpu_spec.h"
@@ -180,6 +181,9 @@ class ServingSim {
   // fleet's conservative time-window loop. The fleet barrier drives the
   // shard with these; exactly one thread may run a given sim at a time
   // (the pool's submit/wait_idle pair provides the happens-before).
+  // That exclusivity is asserted by shard_guard() when armed
+  // (common/shard_guard.h): the three methods below claim the shard for
+  // the call, and every mutating entry point checks the claim.
   /// Fire this shard's events strictly before `t`, then advance its
   /// clock to `t` — the barrier's exclusive edge, so same-timestamp
   /// events wait for the canonical fleet-before-device turn.
@@ -302,6 +306,9 @@ class ServingSim {
   /// This sim's private deterministic RNG stream (device-salted in
   /// fleets); policies and outer simulations draw jitter from it.
   Rng& rng() { return rng_; }
+  /// The shard-ownership race detector (dormant unless armed — see
+  /// common/shard_guard.h). Tests claim it to fake a mid-window worker.
+  ShardGuard& shard_guard() { return shard_guard_; }
 
   // ------------------------------------------------ memory read API ----
   /// True when this device models VRAM capacity (memory virtualization
@@ -474,6 +481,9 @@ class ServingSim {
 
   std::unique_ptr<EventQueue> owned_queue_;  // null in fleet mode
   EventQueue& queue_;
+  /// Asserts the engine's one-thread-per-shard-per-window contract on
+  /// every mutating entry point (no-op until armed).
+  ShardGuard shard_guard_;
   Rng rng_;
   std::unique_ptr<gpusim::GpuExecutor> exec_;
   /// Null unless memory virtualization is on AND the device's VRAM is

@@ -332,7 +332,9 @@ size_t FleetSim::advance_shards(TimeNs t, bool inclusive) {
   // shared cursor until none remain. Shards are mutually independent,
   // so any interleaving yields the same result as the serial loop; the
   // pool's submit/wait_idle pair is the happens-before on either side
-  // of the window.
+  // of the window. Each run_shard_until* call claims the sim's
+  // ShardGuard, so with SGDRC_DEBUG_OWNERSHIP=1 any second thread
+  // touching a claimed shard mid-window aborts with both thread ids.
   std::atomic<size_t> next{0};
   std::atomic<size_t> fired{0};
   pool_->parallel_for(std::min(pool_->size(), shards_.size()),

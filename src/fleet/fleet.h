@@ -37,7 +37,7 @@ namespace sgdrc::fleet {
 /// arrival-jitter stream, while the whole fleet stays reproducible from
 /// one base seed.
 inline uint64_t device_seed(uint64_t base, DeviceId device) {
-  return splitmix64(base + 0x9E3779B97F4A7C15ull *
+  return splitmix64(base + kGoldenSeedStride *
                                (static_cast<uint64_t>(device) + 1));
 }
 
@@ -315,6 +315,9 @@ class FleetSim {
   /// already sitting on the fleet frontier). Device d's sim schedules
   /// exclusively on shards_[d]; cross-shard injections arrive as
   /// timestamped messages scheduled by the main thread between windows.
+  /// That exclusivity is checked, not assumed: each sim's ShardGuard
+  /// asserts it when armed (SGDRC_DEBUG_OWNERSHIP=1, or the CMake
+  /// option of the same name — common/shard_guard.h).
   std::vector<std::unique_ptr<EventQueue>> shards_;
   /// Workers for advance_shards (null ⇒ serial). Woken per window via
   /// the pool's condition variable — readiness events, not polling.

@@ -73,7 +73,7 @@ Scenario& Scenario::hardware(std::vector<gpusim::GpuSpec> specs) {
 
 Scenario& Scenario::front_door(fleet::FrontDoorConfig cfg) {
   SGDRC_REQUIRE(cfg.enabled, "Scenario::front_door needs an enabled config");
-  front_door_ = cfg;
+  front_door_ = std::move(cfg);
   return *this;
 }
 
@@ -146,7 +146,7 @@ std::vector<ServiceWindow> service_windows(
 }
 
 uint64_t segment_seed(uint64_t base, unsigned service, size_t segment) {
-  return splitmix64(splitmix64(base + 0x9E3779B97F4A7C15ull *
+  return splitmix64(splitmix64(base + kGoldenSeedStride *
                                           (static_cast<uint64_t>(service) +
                                            1)) +
                     static_cast<uint64_t>(segment));

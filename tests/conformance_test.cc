@@ -255,8 +255,10 @@ TEST_P(ConformanceTest, FrontDoorConservesRequestsUnderOverload) {
 INSTANTIATE_TEST_SUITE_P(
     AllSystems, ConformanceTest,
     ::testing::Range<size_t>(0, baselines::system_registry().size()),
-    [](const ::testing::TestParamInfo<size_t>& info) {
-      std::string name = baselines::system_registry()[info.param].name;
+    // Not `info`: the INSTANTIATE_TEST_SUITE_P expansion has its own
+    // `info` parameter, and the shadow trips -Wshadow builds.
+    [](const ::testing::TestParamInfo<size_t>& param_info) {
+      std::string name = baselines::system_registry()[param_info.param].name;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

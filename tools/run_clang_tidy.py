@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over src/ and fail on findings not in the baseline.
+
+Wraps clang-tidy (config: the committed .clang-tidy) the way CI and the
+`clang_tidy` ctest consume it:
+
+  * discovers the binary (--clang-tidy=PATH, $CLANG_TIDY, then versioned
+    names on PATH). When absent — e.g. a gcc-only container — prints a
+    SKIP line and exits 0 so local tier-1 runs don't require LLVM.
+    CI passes --require so a broken install fails loudly instead.
+  * needs a compile database: point --build-dir at a tree configured
+    with CMAKE_EXPORT_COMPILE_COMMANDS=ON (the default CMakeLists does).
+  * normalises findings to `relpath:line:col: check` and compares the
+    set against tools/clang_tidy_baseline.txt. The committed baseline
+    is EMPTY — the tree is clean — so any finding is a regression.
+    A finding listed in the baseline but no longer emitted is reported
+    as stale (fix the baseline; it should only ever shrink).
+  * --update-baseline rewrites the baseline from the current run, for
+    the rare case where a check is newly enabled with known debt.
+
+Usage: tools/run_clang_tidy.py [--build-dir DIR] [--require]
+                               [--clang-tidy PATH] [--update-baseline]
+                               [-j N]
+(exit 0 = clean or skipped, 1 = new findings, 2 = usage/tool error)
+"""
+
+import argparse
+import concurrent.futures
+import os
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = ROOT / "tools" / "clang_tidy_baseline.txt"
+
+# file:line:col: warning: message [check-name]
+FINDING_RE = re.compile(
+    r"^(?P<file>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+):\s+"
+    r"(?:warning|error):\s+.*\[(?P<check>[\w.,-]+)\]\s*$")
+
+CANDIDATE_NAMES = ["clang-tidy"] + [
+    f"clang-tidy-{v}" for v in range(21, 13, -1)]
+
+
+def find_binary(explicit):
+    if explicit:
+        if shutil.which(explicit) or pathlib.Path(explicit).is_file():
+            return explicit
+        print(f"run_clang_tidy: --clang-tidy={explicit} not found",
+              file=sys.stderr)
+        return None
+    env = os.environ.get("CLANG_TIDY")
+    if env:
+        return env if shutil.which(env) else None
+    for name in CANDIDATE_NAMES:
+        if shutil.which(name):
+            return name
+    return None
+
+
+def load_baseline():
+    if not BASELINE.is_file():
+        return set()
+    entries = set()
+    for raw in BASELINE.read_text(encoding="utf-8").splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line:
+            entries.add(line)
+    return entries
+
+
+def normalise(path_str):
+    p = pathlib.Path(path_str)
+    try:
+        return p.resolve().relative_to(ROOT).as_posix()
+    except ValueError:
+        return p.as_posix()
+
+
+def tidy_one(binary, build_dir, source):
+    proc = subprocess.run(
+        [binary, "-p", str(build_dir), "--quiet", str(source)],
+        capture_output=True, text=True)
+    findings = set()
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            rel = normalise(m.group("file"))
+            findings.add(
+                f"{rel}:{m.group('line')}:{m.group('col')}: "
+                f"{m.group('check')}")
+    # clang-tidy exits non-zero on compile errors even with zero
+    # findings; surface those so a broken database isn't a silent pass.
+    hard_error = proc.returncode != 0 and not findings and (
+        "error:" in proc.stdout or "error:" in proc.stderr)
+    return findings, hard_error, proc.stderr if hard_error else ""
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", default=str(ROOT / "build"))
+    ap.add_argument("--clang-tidy", default=None)
+    ap.add_argument("--require", action="store_true",
+                    help="fail (exit 2) if clang-tidy is unavailable")
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument("-j", type=int, default=os.cpu_count() or 2)
+    args = ap.parse_args(argv[1:])
+
+    binary = find_binary(args.clang_tidy)
+    if binary is None:
+        msg = ("run_clang_tidy: SKIP — no clang-tidy on PATH "
+               "(set $CLANG_TIDY or pass --clang-tidy)")
+        if args.require:
+            print(msg.replace("SKIP", "FAIL (--require)"), file=sys.stderr)
+            return 2
+        print(msg)
+        return 0
+
+    build_dir = pathlib.Path(args.build_dir)
+    if not (build_dir / "compile_commands.json").is_file():
+        print(f"run_clang_tidy: no compile_commands.json in {build_dir} "
+              "— configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "
+              "(the default)", file=sys.stderr)
+        return 2
+
+    sources = sorted((ROOT / "src").rglob("*.cc"))
+    if not sources:
+        print("run_clang_tidy: no sources under src/", file=sys.stderr)
+        return 2
+
+    findings = set()
+    errors = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.j) as ex:
+        for found, hard_error, err in ex.map(
+                lambda s: tidy_one(binary, build_dir, s), sources):
+            findings |= found
+            if hard_error:
+                errors.append(err)
+    if errors:
+        print("run_clang_tidy: clang-tidy failed to parse the tree "
+              "(stale compile database?):", file=sys.stderr)
+        print(errors[0][:2000], file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        header = ("# clang-tidy baseline: findings tolerated by "
+                  "tools/run_clang_tidy.py.\n"
+                  "# Kept EMPTY by policy — fix findings instead of "
+                  "listing them. Regenerate\n"
+                  "# with tools/run_clang_tidy.py --update-baseline "
+                  "(docs/static-analysis.md).\n")
+        BASELINE.write_text(
+            header + "".join(f"{f}\n" for f in sorted(findings)),
+            encoding="utf-8")
+        print(f"run_clang_tidy: baseline updated "
+              f"({len(findings)} entries)")
+        return 0
+
+    baseline = load_baseline()
+    new = sorted(findings - baseline)
+    stale = sorted(baseline - findings)
+
+    if new:
+        print(f"RUN_CLANG_TIDY FAILED ({len(new)} new finding(s), "
+              f"{len(sources)} files, binary {binary}):")
+        for f in new:
+            print(f"  {f}")
+        print("\nfix the finding (preferred) or, for deliberate debt, "
+              "record it via --update-baseline and justify it in the "
+              "PR (docs/static-analysis.md).")
+        return 1
+    if stale:
+        print(f"run_clang_tidy: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} (already fixed — "
+              "shrink the baseline):")
+        for f in stale:
+            print(f"  {f}")
+        return 1
+    print(f"run_clang_tidy passed: {len(sources)} files, 0 findings "
+          f"beyond an empty baseline (binary {binary})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

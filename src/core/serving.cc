@@ -18,6 +18,42 @@ constexpr size_t qos_index(QosClass q) {
 }
 }  // namespace
 
+// ------------------------------------------------------ DAG frontier ----
+
+void ServingSim::Frontier::reset(const models::ModelDesc& m) {
+  const size_t n = m.kernels.size();
+  SGDRC_CHECK(m.kernel_deps.size() == n,
+              "kernel_deps does not cover every kernel");
+  pending.assign(n, 0);
+  done.assign(n, 0);
+  done_count = 0;
+  ready.clear();
+  running.clear();
+  for (size_t i = 0; i < n; ++i) {
+    pending[i] = static_cast<int>(m.kernel_deps[i].size());
+    if (pending[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+  SGDRC_CHECK(!ready.empty(), "DAG model has no source kernel");
+}
+
+void ServingSim::Frontier::make_ready(int kernel) {
+  ready.insert(std::lower_bound(ready.begin(), ready.end(), kernel), kernel);
+}
+
+void ServingSim::init_frontier(Job& job) const {
+  const auto& m = model_of(job);
+  if (m.is_chain()) return;  // chains take the exact pre-DAG path
+  job.frontier = std::make_unique<Frontier>(m);
+}
+
+bool ServingSim::job_evictable(const Job& j) const {
+  if (!j.frontier) return j.in_flight && !j.evicting;
+  for (const auto& r : j.frontier->running) {
+    if (!r.evicting) return true;
+  }
+  return false;
+}
+
 ServingSim::ServingSim(ServingConfig cfg, std::vector<TenantSpec> tenants,
                        control::Controller& controller)
     : cfg_(std::move(cfg)),
@@ -162,7 +198,8 @@ void ServingSim::register_tenant(TenantId t) {
     Job job;
     job.id = next_job_++;
     job.tenant = t;
-    jobs_.push_back(job);
+    init_frontier(job);
+    jobs_.push_back(std::move(job));
   }
   metrics_.tenants.push_back(std::move(m));
   if (mem_ && spec.qos == QosClass::kBestEffort &&
@@ -305,10 +342,10 @@ void ServingSim::remove_tenant(TenantId t) {
     be_tenants_.erase(it);
     if (be_resident_ > idx) --be_resident_;
     be_resident_ = be_tenants_.empty() ? 0 : be_resident_ % be_tenants_.size();
-    // ...and stop the in-flight kernel; the invisible loop job is never
-    // launched again.
+    // ...and stop the in-flight kernel(s); the invisible loop job is
+    // never launched again.
     for (auto& job : jobs_) {
-      if (job.tenant == t && job.in_flight && !job.evicting) evict(job.id);
+      if (job.tenant == t && job_evictable(job)) evict(job.id);
     }
   }
   // LS tenants drain: the *router* above us must stop sending new work
@@ -337,8 +374,7 @@ void ServingSim::set_be_paused(bool paused) {
     // Mirror remove_tenant's BE halt: stop in-flight BE kernels so the
     // freed TPCs serve the LS backlog now, not after the batch drains.
     for (auto& job : jobs_) {
-      if (qos_of(job) == QosClass::kBestEffort && job.in_flight &&
-          !job.evicting) {
+      if (qos_of(job) == QosClass::kBestEffort && job_evictable(job)) {
         evict(job.id);
       }
     }
@@ -486,6 +522,7 @@ void ServingSim::admit_batch(TenantId t, std::vector<TimeNs> arrivals) {
   job.arrival = arrivals.front();
   job.model = &bs.variants[size - 1];
   job.batch = std::move(arrivals);
+  init_frontier(job);  // after job.model: the variant carries the deps
   bs.admitted_requests += size;
   ++bs.launched_batches;
   bs.launched_requests += size;
@@ -543,8 +580,9 @@ void ServingSim::admit(TenantId tenant, TimeNs arrival) {
   job.id = next_job_++;
   job.tenant = tenant;
   job.arrival = arrival;
+  init_frontier(job);
   apply_memory_gates(job);
-  jobs_.push_back(job);
+  jobs_.push_back(std::move(job));
 }
 
 // ------------------------------------------------ memory virtualization ----
@@ -555,7 +593,7 @@ bool ServingSim::tenant_busy(TenantId t) const {
     return true;
   }
   for (const auto& j : jobs_) {
-    if (j.tenant == t && j.in_flight) return true;
+    if (j.tenant == t && job_inflight_any(j)) return true;
   }
   return false;
 }
@@ -606,7 +644,7 @@ void ServingSim::ensure_residency() {
   // here on every poke — pokes fire on every completion, so the waiter
   // makes progress as soon as memory frees.
   for (const auto& j : jobs_) {
-    if (j.in_flight) continue;
+    if (!job_can_launch(j)) continue;
     const auto r = mem_->residency(j.tenant);
     if (r != memory::Residency::kCold && r != memory::Residency::kPaged) {
       continue;
@@ -630,7 +668,9 @@ void ServingSim::request_weights(TenantId t) {
       // The replica just degraded cold → paged: every job it already has
       // in the system pays the per-request restream before launching.
       for (auto& j : jobs_) {
-        if (j.tenant != t || j.in_flight || held_jobs_.count(j.id)) continue;
+        if (j.tenant != t || job_inflight_any(j) || held_jobs_.count(j.id)) {
+          continue;
+        }
         j.cold = true;
         if (!stopped_) {
           metrics_.tenants[t].paged_requests +=
@@ -675,6 +715,21 @@ bool ServingSim::visible_rotation(const Job& j) const {
 
 ServingSim::JobView ServingSim::view_of(const Job& j) const {
   const auto& kernels = model_of(j).kernels;
+  if (j.frontier) {
+    // Aggregate frontier view: next_kernel is the lowest-index ready
+    // kernel; "in flight" means nothing is launchable right now.
+    const auto& f = *j.frontier;
+    const bool blocked = f.ready.empty();
+    bool evicting = false;
+    for (const auto& r : f.running) evicting |= r.evicting;
+    return {j.id,
+            j.tenant,
+            qos_of(j),
+            j.arrival,
+            blocked ? nullptr : &kernels[f.ready.front()],
+            blocked,
+            evicting};
+  }
   return {j.id,
           j.tenant,
           qos_of(j),
@@ -703,7 +758,17 @@ std::vector<ServingSim::JobView> ServingSim::waiting_jobs(
     QosClass qos) const {
   std::vector<JobView> out;
   for (const auto& j : jobs_) {
-    if (qos_of(j) == qos && visible(j) && !j.in_flight) {
+    if (qos_of(j) != qos || !visible(j)) continue;
+    if (j.frontier) {
+      // One entry per ready kernel, index ascending — the deterministic
+      // ready order. launch(id, ...) consumes the same order, so the
+      // i-th entry is exactly what the i-th launch of this job runs.
+      const auto& kernels = model_of(j).kernels;
+      for (const int k : j.frontier->ready) {
+        out.push_back({j.id, j.tenant, qos, j.arrival, &kernels[k],
+                       /*in_flight=*/false, /*evicting=*/false});
+      }
+    } else if (!j.in_flight) {
       out.push_back(view_of(j));
     }
   }
@@ -725,7 +790,13 @@ std::vector<const gpusim::KernelDesc*> ServingSim::upcoming_kernels(
   std::vector<const gpusim::KernelDesc*> out;
   for (const auto& j : jobs_) {
     if (out.size() >= window) break;
-    if (qos_of(j) == qos && visible(j) && !j.in_flight) {
+    if (qos_of(j) != qos || !visible(j)) continue;
+    if (j.frontier) {
+      for (const int k : j.frontier->ready) {
+        if (out.size() >= window) break;
+        out.push_back(&model_of(j).kernels[k]);
+      }
+    } else if (!j.in_flight) {
       out.push_back(&model_of(j).kernels[j.cursor]);
     }
   }
@@ -855,10 +926,21 @@ void ServingSim::launch(JobId id, LaunchSpec spec) {
   SGDRC_REQUIRE(job != nullptr, "unknown job");
   SGDRC_REQUIRE(visible(*job),
                 "job is not resident (BE rotation or weights not loaded)");
-  SGDRC_REQUIRE(!job->in_flight, "job already has a kernel in flight");
+  if (job->frontier) {
+    SGDRC_REQUIRE(!job->frontier->ready.empty(),
+                  "job has no ready kernel (frontier blocked or fully "
+                  "in flight)");
+  } else {
+    SGDRC_REQUIRE(!job->in_flight, "job already has a kernel in flight");
+  }
   if (mem_) mem_->note_use(job->tenant, now());
   const auto& model = model_of(*job);
-  const gpusim::KernelDesc& k = model.kernels[job->cursor];
+  // Chain: the cursor kernel. DAG: consume the lowest-index ready
+  // kernel — the same order waiting_jobs() exposed.
+  const int kidx = job->frontier
+                       ? job->frontier->ready.front()
+                       : static_cast<int>(job->cursor);
+  const gpusim::KernelDesc& k = model.kernels[kidx];
   // Guarantee bookkeeping: kernels landing inside a *different* tenant's
   // reserved region are violations. Plan-enforced launches were already
   // rejected in apply(); this counts what legacy imperative policies
@@ -876,9 +958,22 @@ void ServingSim::launch(JobId id, LaunchSpec spec) {
   // Only memory-bound kernels are channel-colored (§7.2); others keep the
   // default all-channel mapping.
   const gpusim::ChannelSet ch = k.memory_bound ? spec.channels : 0;
+  note_inflight(qos_of(*job), +1);
+  if (job->frontier) {
+    auto& f = *job->frontier;
+    f.ready.erase(f.ready.begin());
+    f.running.push_back({kidx, 0, false});
+    // Completion events fire through the queue, never synchronously, so
+    // writing the launch id after launch() matches the chain path.
+    f.running.back().launch_id =
+        exec_->launch({&k, spec.tpc_mask, ch, id},
+                      [this, id, kidx](GpuExecutor::LaunchId, TimeNs) {
+                        finish_kernel_dag(id, kidx);
+                      });
+    return;
+  }
   job->in_flight = true;
   job->evicting = false;
-  note_inflight(qos_of(*job), +1);
   job->launch_id = exec_->launch({&k, spec.tpc_mask, ch, id},
                                  [this, id](GpuExecutor::LaunchId, TimeNs) {
                                    finish_kernel(id);
@@ -904,19 +999,66 @@ void ServingSim::finish_kernel(JobId id) {
       rotate_be(job);
     }
   } else if (job.cursor >= model_of(job).kernels.size()) {
-    const TenantId tenant = job.tenant;
-    // Erase before re-admitting: admit() push_backs into the deque,
-    // which would invalidate `it`.
-    const bool cold = job.cold;
-    if (!job.batch.empty()) {
-      const std::vector<TimeNs> arrivals = std::move(job.batch);
-      jobs_.erase(it);
-      complete_ls_batch(tenant, arrivals, cold);
-    } else {
-      const TimeNs arrival = job.arrival;
-      jobs_.erase(it);
-      complete_ls_job(tenant, arrival, cold);
+    complete_ls(it);
+  }
+  poke();
+}
+
+void ServingSim::complete_ls(std::deque<Job>::iterator it) {
+  Job& job = *it;
+  const TenantId tenant = job.tenant;
+  // Erase before re-admitting: admit() push_backs into the deque,
+  // which would invalidate `it`.
+  const bool cold = job.cold;
+  if (!job.batch.empty()) {
+    const std::vector<TimeNs> arrivals = std::move(job.batch);
+    jobs_.erase(it);
+    complete_ls_batch(tenant, arrivals, cold);
+  } else {
+    const TimeNs arrival = job.arrival;
+    jobs_.erase(it);
+    complete_ls_job(tenant, arrival, cold);
+  }
+}
+
+void ServingSim::finish_kernel_dag(JobId id, int kernel) {
+  auto it = std::find_if(jobs_.begin(), jobs_.end(),
+                         [&](const Job& j) { return j.id == id; });
+  SGDRC_CHECK(it != jobs_.end(), "completion for unknown job");
+  Job& job = *it;
+  SGDRC_CHECK(job.frontier != nullptr, "DAG completion on a chain job");
+  Frontier& f = *job.frontier;
+  const QosClass qos = qos_of(job);
+  auto rit = std::find_if(
+      f.running.begin(), f.running.end(),
+      [&](const Frontier::Running& r) { return r.kernel == kernel; });
+  SGDRC_CHECK(rit != f.running.end(), "completion for a kernel not in flight");
+  f.running.erase(rit);
+  note_inflight(qos, -1);
+  f.done[kernel] = 1;
+  ++f.done_count;
+
+  // Unlock dependents: kernels are topologically ordered, so only
+  // higher indices can wait on `kernel`.
+  const auto& deps = model_of(job).kernel_deps;
+  for (size_t d = static_cast<size_t>(kernel) + 1; d < deps.size(); ++d) {
+    if (!std::binary_search(deps[d].begin(), deps[d].end(), kernel)) {
+      continue;
     }
+    SGDRC_CHECK(f.pending[d] > 0, "dependency count underflow");
+    if (--f.pending[d] == 0) f.make_ready(static_cast<int>(d));
+  }
+
+  const size_t total = model_of(job).kernels.size();
+  if (qos == QosClass::kBestEffort) {
+    auto& m = metrics_.tenants[job.tenant];
+    if (!stopped_) ++m.kernels_done;
+    if (f.done_count >= total) {
+      if (!stopped_) ++m.batches_completed;
+      rotate_be(job);
+    }
+  } else if (f.done_count >= total) {
+    complete_ls(it);
   }
   poke();
 }
@@ -941,6 +1083,7 @@ void ServingSim::complete_ls_job(TenantId tenant, TimeNs arrival, bool cold) {
 
 void ServingSim::rotate_be(Job& job) {
   job.cursor = 0;  // the batch loop restarts
+  if (job.frontier) job.frontier->reset(model_of(job));
   // A removed tenant's final batch must not advance the rotation: its
   // removal already re-aimed be_resident_ at the next live tenant.
   if (cfg_.be_mode == BeMode::kRoundRobin && active_[job.tenant] &&
@@ -958,6 +1101,37 @@ void ServingSim::rotate_be(Job& job) {
 void ServingSim::evict(JobId id) {
   Job* job = job_ptr(id);
   SGDRC_REQUIRE(job != nullptr, "unknown job");
+  if (job->frontier) {
+    SGDRC_REQUIRE(!job->frontier->running.empty(),
+                  "no in-flight kernel to evict");
+    if (!job_evictable(*job)) return;  // everything already evicting
+    if (trace_ != nullptr) trace_->evict(id);
+    const QosClass qos = qos_of(*job);
+    for (auto& r : job->frontier->running) {
+      if (r.evicting) continue;
+      r.evicting = true;
+      ++metrics_.tenants[job->tenant].evictions;
+      exec_->evict(r.launch_id, [this, id, qos, kernel = r.kernel](
+                                    GpuExecutor::LaunchId, TimeNs) {
+        // Progress lost; the kernel returns to the ready set (§7.1
+        // restart) at its sorted position.
+        Job* j = job_ptr(id);
+        SGDRC_CHECK(j != nullptr && j->frontier != nullptr,
+                    "eviction for unknown job");
+        auto& f = *j->frontier;
+        auto rit2 = std::find_if(
+            f.running.begin(), f.running.end(),
+            [&](const Frontier::Running& r2) { return r2.kernel == kernel; });
+        SGDRC_CHECK(rit2 != f.running.end(),
+                    "evicted kernel not in flight");
+        f.running.erase(rit2);
+        f.make_ready(kernel);
+        note_inflight(qos, -1);
+        poke();
+      });
+    }
+    return;
+  }
   SGDRC_REQUIRE(job->in_flight, "no in-flight kernel to evict");
   if (job->evicting) return;
   if (trace_ != nullptr) trace_->evict(id);

@@ -240,19 +240,28 @@ class ServingSim {
     bool in_flight;
     bool evicting;
   };
-  /// Every visible job, LS before BE, each class in arrival order. In
-  /// round-robin mode only the resident BE tenant's job is visible.
+  /// Every visible job, LS before BE, each class in arrival order — one
+  /// view per job. In round-robin mode only the resident BE tenant's
+  /// job is visible. For a DAG job the view aggregates its frontier:
+  /// next_kernel is the lowest-index ready kernel (null, with in_flight
+  /// set, when every runnable kernel is already launched).
   std::vector<JobView> jobs() const;
   /// Visible jobs of one class, arrival order.
   std::vector<JobView> jobs(QosClass qos) const;
-  /// Waiting jobs of one class (next kernel launchable now).
+  /// Waiting work of one class: one view per launchable kernel. Chain
+  /// jobs contribute at most one entry (the cursor kernel when idle) —
+  /// exactly the historic list. A DAG job contributes one entry per
+  /// ready kernel, kernel index ascending, each with next_kernel
+  /// pointing at that kernel; launch(id, ...) consumes them in the same
+  /// order, so "launch every waiting entry" co-schedules the frontier.
   std::vector<JobView> waiting_jobs(QosClass qos) const;
   /// Look a job up by id — e.g. classify a RunningInfo by its tag.
   std::optional<JobView> find_job(JobId id) const;
   /// In-flight kernels of one class.
   size_t inflight(QosClass qos) const;
   /// The next `window` kernels of waiting jobs of `qos` — the tidal
-  /// scheduler's sliding window (§7.1).
+  /// scheduler's sliding window (§7.1). DAG jobs contribute every ready
+  /// kernel (ascending), mirroring waiting_jobs.
   std::vector<const gpusim::KernelDesc*> upcoming_kernels(
       QosClass qos, size_t window) const;
 
@@ -342,7 +351,9 @@ class ServingSim {
   /// skipped. This is the only path from plan to mechanism.
   void apply(const control::ResourcePlan& plan);
 
-  /// Legacy mechanism API: launch the next kernel of a waiting job.
+  /// Legacy mechanism API: launch the next kernel of a waiting job —
+  /// for a DAG job, the lowest-index ready kernel of its frontier
+  /// (repeated launches in one poke walk the ready set in order).
   /// Zero means "all" for both LaunchSpec fields (pre-control-plane
   /// convention, kept for imperative Policies; plans use the explicit
   /// control::Allocation instead). For non-memory-bound kernels the
@@ -352,10 +363,12 @@ class ServingSim {
   /// guarantee_violations (and rejected outright on the plan path).
   void launch(JobId id, LaunchSpec spec);
 
-  /// Preempt the job's in-flight kernel via the eviction flag (§7.1).
+  /// Preempt the job's in-flight kernel(s) via the eviction flag (§7.1).
   /// Restart-from-scratch semantics: progress is lost and the job's
-  /// cursor stays on the same kernel until the next launch(). Only
-  /// preemptible (best-effort) kernels accept this.
+  /// cursor stays on the same kernel until the next launch() (a DAG
+  /// job's evicted kernels return to its ready set). Evicts every
+  /// in-flight kernel of a DAG job. Only preemptible (best-effort)
+  /// kernels accept this.
   void evict(JobId id);
 
   /// Schedule a future policy wake-up (policies with timed behaviour,
@@ -368,6 +381,39 @@ class ServingSim {
   control::ResourcePlan trace_policy(Policy& policy);
 
  private:
+  /// DAG execution state for one job, allocated only when the job's
+  /// model carries explicit kernel_deps. Ready order is deterministic:
+  /// kernel index ascending (docs/models.md), so reruns are
+  /// bit-identical whatever completion order the executor produces.
+  struct Frontier {
+    explicit Frontier(const models::ModelDesc& m) { reset(m); }
+    /// (Re)derive the initial frontier from the model's kernel_deps —
+    /// also how a BE batch loop restarts at rotation.
+    void reset(const models::ModelDesc& m);
+    /// Return an evicted/unblocked kernel to the ready set, keeping the
+    /// ascending order.
+    void make_ready(int kernel);
+
+    std::vector<int> pending;  // unmet dep count (0 = ready/running/done)
+    std::vector<char> done;    // completed kernels
+    size_t done_count = 0;
+    std::vector<int> ready;    // launchable kernel indices, ascending
+    struct Running {
+      int kernel = -1;
+      gpusim::GpuExecutor::LaunchId launch_id = 0;
+      bool evicting = false;
+    };
+    std::vector<Running> running;  // in-flight kernels, launch order
+  };
+
+  /// One admitted unit of work. A chain job (frontier == nullptr — every
+  /// model without explicit kernel_deps) advances the historic way: the
+  /// single `cursor` walks `kernels` in order with at most one kernel in
+  /// flight, tracked by in_flight/evicting/launch_id — exactly the
+  /// pre-DAG code path, bit for bit. A DAG job instead tracks a
+  /// *frontier*: a ready set of dependency-satisfied kernels, any number
+  /// of which may be in flight at once (multi-launch into the executor's
+  /// concurrent-kernel support); cursor/in_flight/launch_id are unused.
   struct Job {
     JobId id = 0;
     TenantId tenant = 0;
@@ -376,6 +422,8 @@ class ServingSim {
     bool in_flight = false;
     bool evicting = false;
     gpusim::GpuExecutor::LaunchId launch_id = 0;
+    /// Non-null iff the model has explicit kernel_deps.
+    std::unique_ptr<Frontier> frontier;
     /// Batched jobs run a batch-size-scaled kernel sequence (owned by the
     /// tenant's BatchState; stable storage). Null = the tenant spec model.
     const models::ModelDesc* model = nullptr;
@@ -414,6 +462,20 @@ class ServingSim {
   const models::ModelDesc& model_of(const Job& j) const {
     return j.model ? *j.model : tenants_[j.tenant].model;
   }
+  /// Allocate the job's frontier when its model is a DAG (no-op for
+  /// chains). Must run after job.model is final (batch variants).
+  void init_frontier(Job& job) const;
+  /// Any kernel of the job in flight (chain: the single cursor kernel).
+  bool job_inflight_any(const Job& j) const {
+    return j.frontier ? !j.frontier->running.empty() : j.in_flight;
+  }
+  /// The job can accept a launch right now (chain: not in flight; DAG:
+  /// the ready set is non-empty).
+  bool job_can_launch(const Job& j) const {
+    return j.frontier ? !j.frontier->ready.empty() : !j.in_flight;
+  }
+  /// The job has at least one in-flight kernel not already evicting.
+  bool job_evictable(const Job& j) const;
   bool visible(const Job& j) const;
   /// The pre-memory visibility rule (LS always; BE per rotation/churn).
   bool visible_rotation(const Job& j) const;
@@ -440,6 +502,11 @@ class ServingSim {
   void admit(TenantId tenant, TimeNs arrival);
   void admit_or_backlog(TenantId tenant, TimeNs arrival);
   void finish_kernel(JobId id);
+  /// DAG completion path: retire `kernel` from the frontier, unlock its
+  /// dependents, and finish the job when the whole DAG has run.
+  void finish_kernel_dag(JobId id, int kernel);
+  /// Shared LS completion tail (erase + record + instance hand-off).
+  void complete_ls(std::deque<Job>::iterator it);
   void complete_ls_job(TenantId tenant, TimeNs arrival, bool cold);
   // ---- dynamic batching ----
   void enqueue_for_batch(TenantId t, TimeNs arrival);

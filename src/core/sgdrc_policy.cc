@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 
 namespace sgdrc::core {
 
@@ -83,7 +84,11 @@ ResourcePlan SgdrcPolicy::plan(const SimView& sim) {
       gpusim::all_channels(sim.spec().num_channels);
 
   // Snapshot current occupancy; classify running kernels by the QoS class
-  // of the job behind each launch tag.
+  // of the job behind each launch tag. One BeRun per *job*: a DAG job
+  // running several of its operators concurrently is still one co-runner
+  // for §4's counting, so its kernels fold into a single entry (union of
+  // masks). Chain jobs hold at most one kernel, so grouping is the
+  // identity there.
   struct BeRun {
     JobId job;
     TpcMask mask;
@@ -95,8 +100,13 @@ ResourcePlan SgdrcPolicy::plan(const SimView& sim) {
   TpcMask be_mask_running = 0;
   bool be_memory_bound_in_flight = false;
   std::vector<BeRun> be_runs;
+  // Kernels in flight per job (every class) — the intra-tenant width
+  // accounting for DAG frontiers. std::map: iteration must stay
+  // deterministic for the bit-identical-rerun contract.
+  std::map<JobId, unsigned> inflight_width;
   for (const auto& info : sim.running_infos()) {
     const auto job = sim.find_job(info.tag);
+    if (job) ++inflight_width[job->id];
     if (job && job->qos == QosClass::kBestEffort) {
       const TpcMask mask = info.tpc_mask ? info.tpc_mask : full;
       be_mask_running |= mask;
@@ -105,6 +115,14 @@ ResourcePlan SgdrcPolicy::plan(const SimView& sim) {
       // always run with default mapping and need no channel eviction.
       const bool monopolising =
           info.channels == 0 && info.kernel->memory_bound;
+      const auto it =
+          std::find_if(be_runs.begin(), be_runs.end(),
+                       [&](const BeRun& r) { return r.job == job->id; });
+      if (it != be_runs.end()) {
+        it->mask |= mask;
+        it->monopolising |= monopolising;
+        continue;
+      }
       // Under guarantees, "the whole GPU" for this job stops at foreign
       // regions — promotion must not chase an unreachable full mask.
       const TpcMask own = sim.guaranteed_mask(job->tenant);
@@ -123,7 +141,15 @@ ResourcePlan SgdrcPolicy::plan(const SimView& sim) {
   // Higher-priority tenants launch first (equal priorities keep the
   // arrival order, so the default is the legacy order exactly).
   TpcMask claimed_from_be = 0;
-  std::vector<JobId> planned_ls;  // launched this plan (window bookkeeping)
+  // One entry per kernel launched this plan (window bookkeeping): a DAG
+  // job launching several frontier kernels appears once per launch.
+  std::vector<JobId> planned_ls;
+  // Kernels launched per job this plan, both classes (width accounting).
+  std::map<JobId, unsigned> planned_width;
+  const auto width_capped = [&](JobId id) {
+    if (opt_.intra_tenant_width == 0) return false;
+    return inflight_width[id] + planned_width[id] >= opt_.intra_tenant_width;
+  };
   if (!waiting.empty()) {
     std::stable_sort(waiting.begin(), waiting.end(),
                      [&](const auto& a, const auto& b) {
@@ -138,6 +164,10 @@ ResourcePlan SgdrcPolicy::plan(const SimView& sim) {
     for (const auto& job : waiting) {
       if (launched >= opt_.sliding_window) break;
       if (ls_used == full) break;
+      // A DAG job's extra frontier entries wait once the job hits the
+      // intra-tenant width cap (never binds for chains: one kernel in
+      // flight means no waiting entry at all).
+      if (width_capped(job.id)) continue;
       const unsigned need = std::max(1u, job.next_kernel->min_tpcs);
       const TpcMask own = sim.guaranteed_mask(job.tenant);
       const TpcMask foreign = any_guar & ~own;
@@ -189,6 +219,7 @@ ResourcePlan SgdrcPolicy::plan(const SimView& sim) {
       plan.launch(job.id,
                   {mask, colocated ? eff_ls_channels : all_ch});
       planned_ls.push_back(job.id);
+      ++planned_width[job.id];
       ++launched;
     }
   }
@@ -199,10 +230,18 @@ ResourcePlan SgdrcPolicy::plan(const SimView& sim) {
   // running set: at most one BE kernel co-executes with active LS — a
   // flood that launched during an LS idle gap is trimmed back when LS
   // returns, or its channel contention would defeat the SM region.
+  // be_runs is grouped per job, so be_kept counts co-running *jobs* —
+  // a DAG job's internal operator fan-out is one co-runner, not several.
   const bool quota_mode = any_guar != 0;
   size_t be_kept = 0;
+  std::vector<JobId> be_kept_jobs;     // survivors: may widen their own
+                                       // frontier without a new §4 slot
+  std::vector<JobId> be_evicted_jobs;  // mid-eviction: no relaunch below
   for (const auto& run : be_runs) {
-    if (run.evicting) continue;
+    if (run.evicting) {
+      be_evicted_jobs.push_back(run.job);
+      continue;
+    }
     bool evict_it =
         (ls_active && run.monopolising) || (run.mask & claimed_from_be);
     if (!evict_it && quota_mode && ls_active && be_kept >= 1) {
@@ -210,8 +249,10 @@ ResourcePlan SgdrcPolicy::plan(const SimView& sim) {
     }
     if (evict_it) {
       plan.evict(run.job);
+      be_evicted_jobs.push_back(run.job);
     } else {
       ++be_kept;
+      be_kept_jobs.push_back(run.job);
     }
   }
 
@@ -243,10 +284,16 @@ ResourcePlan SgdrcPolicy::plan(const SimView& sim) {
   unsigned window_need = 1;
   {
     size_t seen = 0;
+    // planned_ls holds one entry per *kernel* launched: consume one skip
+    // per match so a DAG job's still-waiting frontier entries (beyond
+    // the ones this plan launched) keep counting toward the window.
+    // Chains have unique ids, so this is the historic skip exactly.
+    std::vector<JobId> skip = planned_ls;
     for (const auto& job : sim.waiting_jobs(QosClass::kLatencySensitive)) {
       if (seen >= opt_.sliding_window) break;
-      if (std::find(planned_ls.begin(), planned_ls.end(), job.id) !=
-          planned_ls.end()) {
+      const auto it = std::find(skip.begin(), skip.end(), job.id);
+      if (it != skip.end()) {
+        skip.erase(it);
         continue;
       }
       window_need =
@@ -273,7 +320,16 @@ ResourcePlan SgdrcPolicy::plan(const SimView& sim) {
   // regions never are.
   bool unequal_weights = false;
   double total_weight = 0.0;
+  // Distinct waiting BE jobs in queue order: a DAG job's extra frontier
+  // entries are the same tenant asking for more of its own slot, so the
+  // weight sums (and the weighted split below) count each job once.
+  std::vector<JobId> be_order;
   for (const auto& job : waiting_be) {
+    if (std::find(be_order.begin(), be_order.end(), job.id) !=
+        be_order.end()) {
+      continue;
+    }
+    be_order.push_back(job.id);
     total_weight += sim.vgpu(job.tenant).weight;
     if (sim.vgpu(job.tenant).weight != sim.vgpu(waiting_be[0].tenant).weight) {
       unequal_weights = true;
@@ -303,8 +359,26 @@ ResourcePlan SgdrcPolicy::plan(const SimView& sim) {
   if (quota_mode && ls_active) {
     be_budget = be_kept < 1 ? 1 - be_kept : 0;
   }
+  std::map<JobId, TpcMask> job_slice;  // weighted slice, carved per job
+  std::vector<JobId> be_planned;       // distinct jobs launched this plan
   for (const auto& job : waiting_be) {
-    if (be_budget == 0) break;
+    // §4 counts co-running jobs: only a job not already kept-running and
+    // not already launched this plan consumes a budget slot — a DAG
+    // job's further frontier entries ride inside the slot its first
+    // launch (or its surviving kernels) already hold, up to the
+    // intra-tenant width cap. A job this plan just evicted must not be
+    // relaunched out of its still-ready frontier in the same breath.
+    if (std::find(be_evicted_jobs.begin(), be_evicted_jobs.end(), job.id) !=
+        be_evicted_jobs.end()) {
+      continue;
+    }
+    if (width_capped(job.id)) continue;
+    const bool counts_new =
+        std::find(be_planned.begin(), be_planned.end(), job.id) ==
+            be_planned.end() &&
+        std::find(be_kept_jobs.begin(), be_kept_jobs.end(), job.id) ==
+            be_kept_jobs.end();
+    if (counts_new && be_budget == 0) continue;
     const TpcMask own = sim.guaranteed_mask(job.tenant);
     const TpcMask foreign = any_guar & ~own;
     if (!ls_active && foreign == 0) {
@@ -313,10 +387,14 @@ ResourcePlan SgdrcPolicy::plan(const SimView& sim) {
       // bimodal tensor copies — the full VRAM bandwidth (Fig. 14a/d).
       // When LS returns it preempts via the eviction flag (Fig. 13a).
       plan.launch(job.id, Allocation::all());
+      ++planned_width[job.id];
+      if (counts_new) be_planned.push_back(job.id);
     } else if (!ls_active) {
       // LS is idle but holds hard reservations: BE soaks everything
       // except foreign guaranteed regions, with all channels.
       plan.launch(job.id, {full & ~foreign, all_ch});
+      ++planned_width[job.id];
+      if (counts_new) be_planned.push_back(job.id);
     } else {
       // The tenant's own guaranteed region is usable even when the
       // tidal reserve covers it (own == 0 reproduces the legacy mask).
@@ -326,27 +404,36 @@ ResourcePlan SgdrcPolicy::plan(const SimView& sim) {
         // Split the common pool by weight (own regions ride on top):
         // each slice is this tenant's fraction of the *original* pool,
         // carved from what is left, so slices stay proportional and the
-        // last tenant picks up the rounding dust.
-        const TpcMask pool = weighted_pool_left;
-        const unsigned share = static_cast<unsigned>(
-            static_cast<double>(weighted_pool_bits) *
-            sim.vgpu(job.tenant).weight / total_weight);
-        const bool last = &job == &waiting_be.back();
-        TpcMask slice = 0;
-        unsigned got = 0;
-        for (unsigned t = 0; t < num_tpcs_; ++t) {
-          if (!last && got >= std::max(1u, share)) break;
-          const TpcMask bit = gpusim::tpc_bit(t);
-          if (!(pool & bit)) continue;
-          slice |= bit;
-          ++got;
+        // last tenant picks up the rounding dust. Carved once per job —
+        // a DAG job's frontier entries co-execute on the job's slice.
+        auto sit = job_slice.find(job.id);
+        if (sit == job_slice.end()) {
+          const TpcMask pool = weighted_pool_left;
+          const unsigned share = static_cast<unsigned>(
+              static_cast<double>(weighted_pool_bits) *
+              sim.vgpu(job.tenant).weight / total_weight);
+          const bool last = job.id == be_order.back();
+          TpcMask slice = 0;
+          unsigned got = 0;
+          for (unsigned t = 0; t < num_tpcs_; ++t) {
+            if (!last && got >= std::max(1u, share)) break;
+            const TpcMask bit = gpusim::tpc_bit(t);
+            if (!(pool & bit)) continue;
+            slice |= bit;
+            ++got;
+          }
+          weighted_pool_left &= ~slice;
+          sit = job_slice.emplace(job.id, slice).first;
         }
-        weighted_pool_left &= ~slice;
-        free = slice | (own & ~ls_used);
+        free = sit->second | (own & ~ls_used);
       }
       if (free) {
         plan.launch(job.id, {free, eff_be_channels});
-        --be_budget;
+        ++planned_width[job.id];
+        if (counts_new) {
+          be_planned.push_back(job.id);
+          --be_budget;
+        }
       }
       // else: LS holds every TPC; the next completion re-schedules us.
     }

@@ -1,8 +1,11 @@
 // SGDRC's online scheduler (§4 online phase, §7), rewritten as a
 // plan-emitting control::Controller:
 //
-//  * spatial-temporal multiplexing: at most one LS kernel and one BE
-//    kernel co-execute; LS/BE queues are served in order;
+//  * spatial-temporal multiplexing: at most one LS *job* and one BE
+//    *job* co-execute; LS/BE queues are served in order. A DAG job's
+//    dependency-independent operators co-schedule inside its one slot
+//    (capped by SgdrcOptions::intra_tenant_width) — internal fan-out is
+//    not a co-runner;
 //  * tidal SM masking (§7.1): the LS partition grows to the maximum
 //    min-TPC requirement over a sliding window of queued LS kernels and
 //    shrinks to zero when LS goes idle; the BE partition is the tide pool
@@ -43,6 +46,14 @@ struct SgdrcOptions {
   /// The SM reservation decays one TPC per this interval when LS demand
   /// falls, so the BE mask follows the tide without flapping per event.
   TimeNs reserve_decay_interval = 100 * kNsPerUs;
+  /// Intra-tenant width cap: at most this many kernels of one *job* may
+  /// co-execute. Only DAG models (explicit kernel_deps) ever present
+  /// more than one launchable kernel per job, so any value >= 1 leaves
+  /// chain workloads bit-identical. The §4 spatial-temporal rule counts
+  /// co-running *jobs* — a tenant's own operator branches ride inside
+  /// its single slot — and this cap keeps that internal fan-out from
+  /// fragmenting the SM mask. 0 = unlimited.
+  unsigned intra_tenant_width = 4;
 };
 
 class SgdrcPolicy : public control::Controller {

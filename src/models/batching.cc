@@ -21,6 +21,9 @@ uint64_t kernel_weight_bytes(const ModelDesc& m, int kernel_idx) {
 
 ModelDesc batched_variant(const ModelDesc& m, unsigned batch) {
   SGDRC_REQUIRE(batch >= 1, "batch size must be at least 1");
+  // Whole-struct copy: kernel_deps comes along verbatim, so a DAG model's
+  // batch variants keep the operator graph (batching scales each kernel's
+  // work; it never reorders or merges kernels, so the edges stay valid).
   ModelDesc out = m;
   if (batch == 1) return out;
   const auto b = static_cast<uint64_t>(batch);

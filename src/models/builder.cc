@@ -205,7 +205,52 @@ ModelDesc ModelBuilder::build() {
       break;
     }
   }
+  validate_tensor_graph(m_);
   return std::move(m_);
+}
+
+ModelDesc ModelBuilder::build_dag() {
+  ModelDesc m = build();
+  derive_kernel_deps(m);
+  return m;
+}
+
+void validate_tensor_graph(const ModelDesc& m) {
+  const int n = static_cast<int>(m.kernels.size());
+  for (const auto& t : m.tensors) {
+    SGDRC_REQUIRE(t.produced_by >= -1 && t.produced_by < n,
+                  "tensor '" + t.name + "' produced_by kernel index " +
+                      std::to_string(t.produced_by) + " out of range");
+    for (const int c : t.consumed_by) {
+      SGDRC_REQUIRE(c >= 0 && c < n,
+                    "tensor '" + t.name + "' consumed_by kernel index " +
+                        std::to_string(c) + " out of range");
+    }
+  }
+}
+
+void derive_kernel_deps(ModelDesc& m) {
+  validate_tensor_graph(m);
+  std::vector<std::vector<int>> deps(m.kernels.size());
+  for (const auto& t : m.tensors) {
+    if (t.produced_by < 0) continue;  // external tensor: no producer edge
+    for (const int c : t.consumed_by) {
+      // Kernels are stored in execution order, so a producer that does
+      // not strictly precede its consumer is a cycle (or a self-loop) in
+      // the dataflow — the graph cannot be topologically ordered.
+      SGDRC_REQUIRE(t.produced_by < c,
+                    "cyclic tensor graph: tensor '" + t.name +
+                        "' produced by kernel " +
+                        std::to_string(t.produced_by) +
+                        " is consumed by kernel " + std::to_string(c));
+      deps[c].push_back(t.produced_by);
+    }
+  }
+  for (auto& d : deps) {
+    std::sort(d.begin(), d.end());
+    d.erase(std::unique(d.begin(), d.end()), d.end());
+  }
+  m.kernel_deps = std::move(deps);
 }
 
 }  // namespace sgdrc::models

@@ -56,7 +56,18 @@ class ModelBuilder {
   int tiny_op(const std::string& name, int input, uint64_t bytes);
 
   /// Mark the most recent tensor as the model output and finalise.
+  /// Leaves kernel_deps empty: the model executes as a strict chain,
+  /// bit-identical to the pre-DAG simulator (the existing zoo recipes
+  /// all build this way).
   ModelDesc build();
+
+  /// Finalise like build(), then derive explicit per-kernel dependency
+  /// edges from the tensor graph (kernel i depends on the producers of
+  /// every tensor it reads), validated acyclic and topologically
+  /// ordered. The result schedules dependency-independent kernels
+  /// concurrently (Opara-style intra-request parallelism); a recipe
+  /// with no branches still yields a DAG equivalent to its chain.
+  ModelDesc build_dag();
 
   const ModelDesc& peek() const { return m_; }
 
@@ -70,5 +81,20 @@ class ModelBuilder {
   ModelDesc m_;
   int next_expr_ = 0;
 };
+
+/// Build-time validation of the tensor graph: every
+/// TensorDesc::produced_by / consumed_by kernel index must be in range.
+/// (Before this existed, an out-of-range index only surfaced at
+/// ModelDesc::tensor() access deep inside a run.) Throws ConfigError.
+void validate_tensor_graph(const ModelDesc& m);
+
+/// Derive ModelDesc::kernel_deps from the tensor graph: kernel i
+/// depends on the producer of every tensor it consumes. Validates the
+/// graph first, dedups and sorts each dependency list ascending, and
+/// rejects cyclic tensor graphs (an edge whose producer does not
+/// strictly precede its consumer in kernel order) with a ConfigError
+/// naming the offending tensor. Chains stay chains: a branch-free
+/// recipe yields deps {i-1} for every kernel i.
+void derive_kernel_deps(ModelDesc& m);
 
 }  // namespace sgdrc::models

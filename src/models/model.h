@@ -1,6 +1,11 @@
-// Model descriptors: a DNN is an ordered kernel sequence plus the tensors
-// those kernels read and write — the same view SGDRC gets from its TVM
-// pipeline (§4's offline phase). Tab. 3's 11 models are built from
+// Model descriptors: a DNN is a kernel DAG — kernels in topological
+// order plus the tensors they read and write, with optional explicit
+// per-kernel dependency edges (kernel_deps) derived from the tensor
+// graph — the same view SGDRC gets from its TVM pipeline (§4's offline
+// phase). When kernel_deps is empty the model is a pure chain and
+// every consumer executes it exactly as the historical ordered kernel
+// sequence; ModelBuilder::build_dag() opts a recipe into operator-level
+// parallelism (docs/models.md). Tab. 3's 11 models are built from
 // per-architecture recipes in zoo.h.
 #pragma once
 
@@ -33,10 +38,21 @@ struct ModelDesc {
   char letter = '?';  // Tab. 3 id: A..H LS, I..K BE
   ServiceClass service = ServiceClass::kLatencySensitive;
   unsigned batch = 1;
-  std::vector<gpusim::KernelDesc> kernels;  // execution order
+  std::vector<gpusim::KernelDesc> kernels;  // topological order
   std::vector<TensorDesc> tensors;
+  /// Explicit dependency edges: kernel_deps[i] lists the kernel indices
+  /// kernel i waits on, each strictly less than i (topological order is
+  /// the validated invariant, see ModelBuilder::build_dag()). Empty ⇒
+  /// pure chain: kernel i implicitly depends on kernel i-1 and the
+  /// serving layer takes the exact single-cursor path it always has.
+  std::vector<std::vector<int>> kernel_deps;
 
   bool is_ls() const { return service == ServiceClass::kLatencySensitive; }
+
+  /// True when the model executes as a strict sequential chain (no
+  /// explicit DAG edges); such models are scheduled bit-identically to
+  /// the pre-DAG simulator.
+  bool is_chain() const { return kernel_deps.empty(); }
 
   uint64_t total_flops() const {
     uint64_t f = 0;

@@ -333,6 +333,53 @@ std::vector<ModelDesc> standard_zoo() {
           resnet152(),    densenet161(),    bert()};
 }
 
+namespace {
+
+/// GoogLeNet-style inception block: four branches off the same input —
+/// 1×1, 1×1→3×3, 1×1→5×5, pool→1×1 — joined by a concat. The branches
+/// share no tensors, so under build_dag() they are dependency-free and
+/// co-schedulable; under build() they serialize in emission order.
+int inception_block(ModelBuilder& b, const std::string& tag, int x,
+                    unsigned cin, unsigned c1, unsigned c3r, unsigned c3,
+                    unsigned c5r, unsigned c5, unsigned cp, unsigned h) {
+  const int b1 = b.conv(tag + ".b1", x, cin, c1, 1, h, h);
+  int b3 = b.conv(tag + ".b3r", x, cin, c3r, 1, h, h);
+  b3 = b.conv(tag + ".b3", b3, c3r, c3, 3, h, h);
+  int b5 = b.conv(tag + ".b5r", x, cin, c5r, 1, h, h);
+  b5 = b.conv(tag + ".b5", b5, c5r, c5, 5, h, h);
+  int bp = b.pool(tag + ".bp.pool", x, 1);
+  bp = b.conv(tag + ".bp", bp, cin, cp, 1, h, h);
+  return b.shuffle(tag + ".concat", {b1, b3, b5, bp});
+}
+
+ModelDesc inception(const std::string& name, char letter,
+                    ServiceClass service, unsigned batch, bool dag) {
+  ModelBuilder b(name, letter, service, batch);
+  int x = b.add_input(kImage224);
+  x = b.conv("stem", x, 3, 64, 7, 56, 56);
+  x = b.pool("pool0", x, 2);
+  // Two stages of two blocks (GoogLeNet's 3a/3b and 4a/4b shapes).
+  x = inception_block(b, "3a", x, 64, 32, 48, 64, 8, 16, 16, 28);
+  x = inception_block(b, "3b", x, 128, 64, 64, 96, 16, 48, 32, 28);
+  x = b.pool("pool1", x, 2);
+  x = inception_block(b, "4a", x, 240, 96, 48, 104, 8, 24, 32, 14);
+  x = inception_block(b, "4b", x, 256, 80, 56, 112, 12, 32, 32, 14);
+  x = b.pool("gap", x, 14);
+  x = b.matmul("fc", x, 1, 256, 1000);
+  return dag ? b.build_dag() : b.build();
+}
+
+}  // namespace
+
+ModelDesc inception_ls(bool dag) {
+  return inception("InceptionLS", 'W', ServiceClass::kLatencySensitive, 1,
+                   dag);
+}
+
+ModelDesc inception_be(bool dag) {
+  return inception("InceptionBE", 'X', ServiceClass::kBestEffort, 8, dag);
+}
+
 ModelDesc make_model(char letter) {
   switch (letter) {
     case 'A': return mobilenet_v3();

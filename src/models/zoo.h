@@ -34,4 +34,14 @@ std::vector<ModelDesc> standard_zoo();
 /// Lookup by Tab. 3 letter; throws on unknown ids.
 ModelDesc make_model(char letter);
 
+/// Inception-style wide recipes (not part of Tab. 3): every block fans
+/// the same input out to four convolution branches that join in a
+/// concat, so dependency-independent kernels exist inside one request.
+/// `dag = true` attaches explicit kernel_deps (ModelBuilder::build_dag)
+/// and the serving layer co-schedules the branches, Opara-style;
+/// `dag = false` returns the identical recipe as a serialized chain —
+/// the comparison form bench/dag_parallelism.cc sweeps against.
+ModelDesc inception_ls(bool dag);  // latency-sensitive, batch 1
+ModelDesc inception_be(bool dag);  // best-effort, batch 8
+
 }  // namespace sgdrc::models

@@ -252,6 +252,85 @@ TEST_P(ConformanceTest, FrontDoorConservesRequestsUnderOverload) {
   EXPECT_EQ(fd.admitted, device_arrivals + fd.expired) << sys.name;
 }
 
+// ------------------------------------------------ DAG-model scenario ----
+
+/// Shared DAG fixture: the inception recipes profiled on the test GPU,
+/// their SPT variants, and a single-service trace sized off the DAG
+/// model's serialized isolated latency.
+struct DagSetup {
+  models::ModelDesc ls, be, ls_spt, be_spt;
+  TimeNs iso = 0;
+  std::vector<workload::Request> trace;
+
+  DagSetup() {
+    const OfflineProfiler prof(mini_options().spec);
+    ls = models::inception_ls(true);
+    be = models::inception_be(true);
+    prof.profile(ls);
+    prof.profile(be);
+    ls_spt = ServingHarness::transform_for_spt(ls, prof);
+    be_spt = ServingHarness::transform_for_spt(be, prof);
+    iso = prof.isolated_latency(ls);
+    workload::TraceOptions topt;
+    topt.services = 1;
+    topt.duration = mini_options().duration;
+    topt.burstiness = 0.35;
+    topt.seed = 0xda6c;
+    topt.per_service_rates = {0.5 / to_sec(iso)};
+    trace = workload::generate_apollo_like_trace(topt);
+  }
+};
+
+const DagSetup& dag_setup() {
+  static const DagSetup s;
+  return s;
+}
+
+TEST_P(ConformanceTest, SharedInvariantsHoldOnDagModels) {
+  // The same substrate invariants over a DAG model: every system sees
+  // multi-entry waiting views and multi-launch jobs (the inception
+  // frontier) and must still conserve requests, never evict LS work,
+  // and replay bit-identically.
+  const auto& sys = baselines::system_registry()[GetParam()];
+  const auto& d = dag_setup();
+  const gpusim::GpuSpec spec = mini_options().spec;
+
+  const auto build = [&](control::Controller& controller) {
+    return ServingSimBuilder()
+        .gpu(spec)
+        .duration(mini_options().duration)
+        .slo_multiplier(4.0)
+        .best_effort_mode(BeMode::kConcurrent)
+        .add_latency_sensitive(sys.uses_spt ? d.ls_spt : d.ls, d.iso)
+        .add_best_effort(sys.uses_spt ? d.be_spt : d.be)
+        .build(controller);
+  };
+
+  const auto controller = sys.make(spec);
+  auto sim = build(*controller);
+  const auto m = sim->run(d.trace);
+
+  uint64_t total_served = 0;
+  for (workload::TenantId t = 0; t < m.tenants.size(); ++t) {
+    const auto& tm = m.tenants[t];
+    if (tm.qos == workload::QosClass::kLatencySensitive) {
+      EXPECT_EQ(tm.evictions, 0u) << sys.name;
+      EXPECT_EQ(tm.arrived, tm.served + sim->outstanding(t)) << sys.name;
+      EXPECT_EQ(tm.served, tm.latency.count()) << sys.name;
+      total_served += tm.served;
+    } else {
+      EXPECT_GE(tm.kernels_done,
+                tm.batches_completed * tm.kernels_per_batch)
+          << sys.name;
+    }
+  }
+  EXPECT_GT(total_served, 0u) << sys.name;
+
+  const auto controller2 = sys.make(spec);
+  auto sim2 = build(*controller2);
+  expect_identical(m, sim2->run(d.trace), sys.name);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     AllSystems, ConformanceTest,
     ::testing::Range<size_t>(0, baselines::system_registry().size()),

@@ -3,8 +3,11 @@
 // end-to-end comparisons against the baselines on a small configuration.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
+#include <sstream>
+#include <string>
 
 #include "baselines/baseline_policies.h"
 #include "core/harness.h"
@@ -529,6 +532,145 @@ TEST(Metrics, ZeroServedTenantReportsNoDataNotPerfectAttainment) {
   EXPECT_DOUBLE_EQ(workload::mean_attainment({idle, busy}), 0.75);
   // No data anywhere is NaN, not a vacuous pass.
   EXPECT_TRUE(std::isnan(workload::mean_attainment({idle})));
+}
+
+
+// ------------------------------------------------------- DAG frontier ----
+
+/// A wide synthetic DAG: a stem fans out to three independent branches
+/// that join — the frontier holds three co-schedulable kernels after the
+/// stem retires.
+models::ModelDesc wide_dag_model(const std::string& name, char letter,
+                                 models::ServiceClass service) {
+  models::ModelDesc m;
+  m.name = name;
+  m.letter = letter;
+  m.service = service;
+  m.batch = service == models::ServiceClass::kBestEffort ? 4 : 1;
+  for (int i = 0; i < 5; ++i) {
+    gpusim::KernelDesc k;
+    k.name = name + ".k" + std::to_string(i);
+    k.flops = 4'000'000;
+    k.bytes = 200'000;
+    k.blocks = 64;
+    k.max_useful_tpcs = 4;
+    k.preemptible = service == models::ServiceClass::kBestEffort;
+    k.memory_bound = i == 2;  // one memory-bound branch
+    k.min_tpcs = 1;
+    m.kernels.push_back(std::move(k));
+  }
+  m.kernel_deps = {{}, {0}, {0}, {0}, {1, 2, 3}};
+  return m;
+}
+
+TEST(DagFrontier, CoSchedulesIndependentKernels) {
+  // "Launch every waiting entry" must put all three branches in flight
+  // at once — one request finally uses more than one kernel's worth of
+  // the GPU.
+  size_t max_inflight = 0;
+  FnPolicy policy([&](ServingSim& sim) {
+    for (const auto& job : sim.waiting_jobs(QosClass::kBestEffort)) {
+      sim.launch(job.id, {});
+    }
+    // A drained frontier rejects further launches (nothing ready).
+    for (const auto& job : sim.jobs(QosClass::kBestEffort)) {
+      if (job.in_flight) {
+        EXPECT_THROW(sim.launch(job.id, {}), ConfigError);
+      }
+    }
+    max_inflight =
+        std::max(max_inflight, sim.inflight(QosClass::kBestEffort));
+  });
+  auto sim = ServingSimBuilder()
+                 .gpu(small_spec())
+                 .duration(20 * kNsPerMs)
+                 .add_best_effort(wide_dag_model(
+                     "wide", 'W', models::ServiceClass::kBestEffort))
+                 .build(policy);
+  const auto m = sim->run({});
+  EXPECT_GE(max_inflight, 3u);
+  EXPECT_GT(m.of_class(QosClass::kBestEffort)[0]->batches_completed, 0u);
+}
+
+TEST(DagFrontier, EvictReturnsEvictedKernelsToReady) {
+  // §7.1 restart-from-scratch over a frontier: evicting the job pulls
+  // every in-flight branch back, and each lands in the ready set again.
+  bool evict_issued = false;
+  size_t max_ready_after = 0;
+  FnPolicy policy([&](ServingSim& sim) {
+    const auto jobs = sim.jobs(QosClass::kBestEffort);
+    if (jobs.empty()) return;
+    if (!evict_issued) {
+      for (const auto& w : sim.waiting_jobs(QosClass::kBestEffort)) {
+        sim.launch(w.id, {});
+      }
+      if (sim.inflight(QosClass::kBestEffort) >= 3) {
+        sim.evict(jobs.front().id);
+        evict_issued = true;
+      }
+    } else {
+      // Stop launching; watch the evictions land back in the ready set.
+      max_ready_after = std::max(
+          max_ready_after, sim.waiting_jobs(QosClass::kBestEffort).size());
+    }
+  });
+  auto sim = ServingSimBuilder()
+                 .gpu(small_spec())
+                 .duration(5 * kNsPerMs)
+                 .add_best_effort(wide_dag_model(
+                     "wide", 'W', models::ServiceClass::kBestEffort))
+                 .build(policy);
+  sim->run({});
+  EXPECT_TRUE(evict_issued);
+  EXPECT_GE(max_ready_after, 3u);
+}
+
+/// Exact textual fingerprint of a serving run (precision 17: doubles
+/// round-trip), down to every raw latency sample.
+std::string serving_digest(const workload::ServingMetrics& m) {
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& t : m.tenants) {
+    os << t.id << ": arrived=" << t.arrived << " served=" << t.served
+       << " attained=" << t.attained << " kernels=" << t.kernels_done
+       << " batches=" << t.batches_completed << " evictions=" << t.evictions
+       << " lat=";
+    for (const auto s : t.latency.raw()) os << s << ' ';
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string run_wide_model_once() {
+  workload::TraceOptions topt;
+  topt.services = 1;
+  topt.duration = 50 * kNsPerMs;
+  topt.per_service_rates = {1500.0};
+  topt.burstiness = 0.35;
+  topt.seed = 0xd16;
+  const auto trace = workload::generate_apollo_like_trace(topt);
+  SgdrcPolicy controller(small_spec());
+  auto sim = ServingSimBuilder()
+                 .gpu(small_spec())
+                 .duration(topt.duration)
+                 .slo_multiplier(4.0)
+                 .add_latency_sensitive(
+                     wide_dag_model("wide-ls", 'V',
+                                    models::ServiceClass::kLatencySensitive),
+                     50 * kNsPerUs)
+                 .add_best_effort(wide_dag_model(
+                     "wide-be", 'W', models::ServiceClass::kBestEffort))
+                 .build(controller);
+  const auto m = sim->run(trace);
+  EXPECT_GT(m.tenants[0].served, 0u);
+  return serving_digest(m);
+}
+
+TEST(DagFrontier, RerunsAreBitIdentical) {
+  // The ready order is kernel-index ascending by construction, never
+  // completion-order dependent — two fresh runs must agree down to the
+  // last latency sample.
+  EXPECT_EQ(run_wide_model_once(), run_wide_model_once());
 }
 
 }  // namespace

@@ -254,6 +254,65 @@ TEST(FleetParallel, BitIdenticalThroughRetryStormOnHeteroFleet) {
   }
 }
 
+
+// ------------------------------------------------- DAG-model fleets ----
+
+/// Wide-model fleets: inception DAG tenants expose multi-kernel
+/// frontiers on every device, so each shard multi-launches kernels of a
+/// single request. The sharded engine must replay that bit-identically
+/// at any thread count.
+struct DagZoo {
+  models::ModelDesc ls = models::inception_ls(true);
+  models::ModelDesc be = models::inception_be(true);
+  TimeNs iso = 0;
+
+  DagZoo() {
+    core::OfflineProfiler prof(zoo().spec);
+    prof.profile(ls);
+    prof.profile(be);
+    iso = prof.isolated_latency(ls);
+  }
+};
+
+const DagZoo& dag_zoo() {
+  static const DagZoo z;
+  return z;
+}
+
+std::string run_dag_digest(bool parallel, unsigned threads) {
+  const TimeNs duration = 60 * kNsPerMs;
+  FleetConfig cfg = base_config(4, duration);
+  cfg.engine.parallel = parallel;
+  cfg.engine.threads = threads;
+  const auto& z = dag_zoo();
+  std::vector<FleetTenantSpec> tenants{
+      replicated(latency_sensitive_tenant(z.ls, z.iso), 3),
+      replicated(best_effort_tenant(z.be), 3),
+  };
+  SpreadPlacement spread;
+  LeastOutstandingRouter router;
+  FleetSim fleet(cfg, tenants, spread, router, sgdrc_factory());
+  workload::TraceOptions topt;
+  topt.services = 1;
+  topt.duration = duration;
+  topt.per_service_rates = {400.0};
+  topt.seed = 0xdaf7;
+  const FleetMetrics m =
+      fleet.run(workload::generate_apollo_like_trace(topt));
+  uint64_t served = 0;
+  for (const auto& t : m.tenants) served += t.served;
+  EXPECT_GT(served, 0u);
+  return digest(m);
+}
+
+TEST(FleetParallel, BitIdenticalWithDagModelFrontiers) {
+  const std::string serial = run_dag_digest(false, 0);
+  for (const unsigned threads : {2u, 5u}) {
+    EXPECT_EQ(serial, run_dag_digest(true, threads))
+        << "DAG fleet diverged at " << threads << " threads";
+  }
+}
+
 // ------------------------------------------------------- defaults ----
 
 TEST(FleetParallel, SerialIsTheDefaultAndSingleDeviceStaysSerial) {

@@ -3,9 +3,11 @@
 // behind Fig. 16.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 
 #include "models/builder.h"
+#include "models/batching.h"
 #include "models/footprint.h"
 #include "models/model.h"
 #include "models/zoo.h"
@@ -188,6 +190,109 @@ TEST(Footprint, OnlyMemoryBoundTensorsDuplicate) {
   const auto after = analyze_footprint(m);
   EXPECT_EQ(after.bimodal(false),
             after.original(false) + m.tensors[1].bytes);
+}
+
+
+// ---------------------------------------------------------------- DAG ----
+
+TEST(Dag, ChainRecipeMatchesLegacyOrder) {
+  // A branch-free recipe built with build_dag(): every kernel depends on
+  // exactly its predecessor (through the activation tensor), so the DAG
+  // executes in the legacy chain order.
+  ModelBuilder b("toy", 'Z', ServiceClass::kLatencySensitive, 1);
+  int x = b.add_input(1024);
+  x = b.conv("c1", x, 3, 8, 3, 16, 16);
+  x = b.conv("c2", x, 8, 8, 3, 16, 16);
+  b.pool("p", x, 2);
+  const ModelDesc m = b.build_dag();
+  ASSERT_EQ(m.kernel_deps.size(), m.kernels.size());
+  EXPECT_FALSE(m.is_chain());
+  EXPECT_TRUE(m.kernel_deps[0].empty());
+  for (size_t i = 1; i < m.kernel_deps.size(); ++i) {
+    ASSERT_EQ(m.kernel_deps[i].size(), 1u) << m.kernels[i].name;
+    EXPECT_EQ(m.kernel_deps[i][0], static_cast<int>(i) - 1);
+  }
+}
+
+TEST(Dag, BuildLeavesChainsChainy) {
+  // build() (the zoo path) must keep kernel_deps empty — that emptiness
+  // is what routes the serving layer down the exact pre-DAG code path.
+  for (const auto& m : standard_zoo()) {
+    EXPECT_TRUE(m.is_chain()) << m.name;
+  }
+}
+
+TEST(Dag, DiamondJoinDependsOnBothBranches) {
+  ModelBuilder b("toy", 'Z', ServiceClass::kLatencySensitive, 1);
+  const int in = b.add_input(1024);
+  const int stem = b.conv("stem", in, 3, 8, 3, 16, 16);   // kernel 0
+  const int left = b.conv("left", stem, 8, 8, 3, 16, 16);  // kernel 1
+  const int right = b.conv("right", stem, 8, 8, 3, 16, 16);  // kernel 2
+  b.shuffle("join", {left, right});                          // kernel 3
+  const ModelDesc m = b.build_dag();
+  ASSERT_EQ(m.kernel_deps.size(), 4u);
+  EXPECT_EQ(m.kernel_deps[0], (std::vector<int>{}));
+  EXPECT_EQ(m.kernel_deps[1], (std::vector<int>{0}));
+  EXPECT_EQ(m.kernel_deps[2], (std::vector<int>{0}));
+  EXPECT_EQ(m.kernel_deps[3], (std::vector<int>{1, 2}));
+}
+
+TEST(Dag, CyclicTensorGraphRejected) {
+  // Hand-built backward edge: a tensor produced by kernel 1 feeding
+  // kernel 0 breaks the topological-order invariant.
+  ModelDesc m;
+  m.kernels.resize(2);
+  m.tensors.push_back({"loop", 64, TensorKind::kIntermediate,
+                       /*produced_by=*/1, /*consumed_by=*/{0}});
+  EXPECT_THROW(derive_kernel_deps(m), ConfigError);
+  // Self-loop: a kernel consuming its own output is equally cyclic.
+  m.tensors[0].consumed_by = {1};
+  EXPECT_THROW(derive_kernel_deps(m), ConfigError);
+}
+
+TEST(Dag, OutOfRangeTensorIndicesRejectedAtBuild) {
+  ModelDesc m;
+  m.kernels.resize(1);
+  m.tensors.push_back({"bad", 64, TensorKind::kIntermediate,
+                       /*produced_by=*/5, /*consumed_by=*/{}});
+  EXPECT_THROW(validate_tensor_graph(m), ConfigError);
+  m.tensors[0].produced_by = 0;
+  m.tensors[0].consumed_by = {7};
+  EXPECT_THROW(validate_tensor_graph(m), ConfigError);
+}
+
+TEST(Dag, BatchVariantPreservesKernelDeps) {
+  const ModelDesc m = inception_be(true);
+  ASSERT_FALSE(m.is_chain());
+  const ModelDesc b4 = batched_variant(m, 4);
+  EXPECT_EQ(b4.kernel_deps, m.kernel_deps);
+  EXPECT_EQ(b4.kernels.size(), m.kernels.size());
+}
+
+TEST(Dag, InceptionRecipesExposeParallelBranches) {
+  const ModelDesc dag = inception_ls(true);
+  const ModelDesc chain = inception_ls(false);
+  // Identical kernels, only the dependency edges differ.
+  ASSERT_EQ(dag.kernels.size(), chain.kernels.size());
+  for (size_t i = 0; i < dag.kernels.size(); ++i) {
+    EXPECT_EQ(dag.kernels[i].name, chain.kernels[i].name);
+  }
+  EXPECT_TRUE(chain.is_chain());
+  ASSERT_FALSE(dag.is_chain());
+  // Wide: some kernel index is a dependency of at least two others (a
+  // block input fanning out to parallel branches).
+  std::vector<int> fanout(dag.kernels.size(), 0);
+  for (const auto& deps : dag.kernel_deps) {
+    for (const int d : deps) ++fanout[static_cast<size_t>(d)];
+  }
+  EXPECT_GE(*std::max_element(fanout.begin(), fanout.end()), 2);
+  // And every edge respects topological order.
+  for (size_t i = 0; i < dag.kernel_deps.size(); ++i) {
+    for (const int d : dag.kernel_deps[i]) {
+      EXPECT_LT(d, static_cast<int>(i));
+      EXPECT_GE(d, 0);
+    }
+  }
 }
 
 // ------------------------------------------------------------ Builder ----

@@ -38,6 +38,7 @@ baselines when you want the gate to hold the new line:
     ./vgpu_isolation   --quick --json bench/baselines/BENCH_vgpu.json
     ./batching_sweep   --quick --json bench/baselines/BENCH_batching.json
     ./memory_pressure  --quick --json bench/baselines/BENCH_memory.json
+    ./dag_parallelism  --quick --json bench/baselines/BENCH_dag.json
 
 Override: label the PR `perf-gate-override` (documented in README) to
 skip the gate on the PR run for intentional regressions. The label
@@ -140,9 +141,25 @@ def validate_scenarios(doc, name):
     return failures
 
 
+def validate_dag(doc, name):
+    """Absolute invariant of the CURRENT dag_parallelism output: the
+    bench's own gate — under SGDRC the DAG form must strictly beat the
+    serialized form on LS p99 without losing SLO attainment. The bench
+    exits non-zero when this fails, but the JSON records it too so a
+    stale artifact cannot slip past the perf gate."""
+    gate = doc.get("gate") or {}
+    if gate.get("ok") is not True:
+        return [
+            f"{name}: {gate.get('system', 'SGDRC')}: DAG co-scheduling did "
+            "not strictly beat the serialized form at equal attainment "
+            "(gate.ok is not true)"]
+    return []
+
+
 VALIDATORS = {
     "fleet_scaling": validate_fleet,
     "scenario_sweep": validate_scenarios,
+    "dag_parallelism": validate_dag,
 }
 
 
@@ -222,6 +239,23 @@ def records_memory(doc):
         yield key + ("cold",), {"p99_ms": cell.get("cold_start_p99_ms")}
 
 
+def records_dag(doc):
+    """dag_parallelism: one record per (system, form) where form is the
+    model's execution shape — "dag" (explicit kernel_deps, frontier
+    multi-launch) or "serialized" (the same kernels as a flat chain).
+    Plus one dag-gate record whose `ok` is the bench's headline claim:
+    SGDRC's DAG p99 strictly beats serialized at >= attainment."""
+    for cell in doc.get("cells", []):
+        form = "dag" if cell.get("dag") else "serialized"
+        yield ("dag", cell["system"], form), {
+            "p99_ms": cell.get("p99_ms"),
+            "be": cell.get("be_samples_per_s"),
+            "att": cell.get("attainment"),
+        }
+    gate = doc.get("gate") or {}
+    yield ("dag-gate", gate.get("system", "SGDRC")), {"ok": gate.get("ok")}
+
+
 EXTRACTORS = {
     "fleet_scaling": records_fleet,
     "fig17_end_to_end": records_fig17,
@@ -229,6 +263,7 @@ EXTRACTORS = {
     "vgpu_isolation": records_vgpu,
     "batching_sweep": records_batching,
     "memory_pressure": records_memory,
+    "dag_parallelism": records_dag,
 }
 
 

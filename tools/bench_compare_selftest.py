@@ -117,6 +117,24 @@ BASELINE_SCENARIOS = {
 }
 
 
+BASELINE_DAG = {
+    "bench": "dag_parallelism",
+    "quick": True,
+    "duration_ms": 250.0,
+    "gate": {"system": "SGDRC", "dag_p99_ms": 0.57, "serialized_p99_ms": 0.73,
+             "speedup": 1.28, "dag_attainment": 1.0,
+             "serialized_attainment": 1.0, "ok": True},
+    "cells": [
+        {"system": "SGDRC", "dag": True, "p99_ms": 0.57, "slo_ms": 4.4,
+         "attainment": 1.0, "be_samples_per_s": 88.0},
+        {"system": "SGDRC", "dag": False, "p99_ms": 0.73, "slo_ms": 4.4,
+         "attainment": 1.0, "be_samples_per_s": 84.0},
+        {"system": "MPS", "dag": True, "p99_ms": 1.9, "slo_ms": 4.4,
+         "attainment": 0.98, "be_samples_per_s": 120.0},
+    ],
+}
+
+
 def run_gate(baseline, current, name="BENCH_vgpu.json"):
     with tempfile.TemporaryDirectory() as tmp:
         bdir = pathlib.Path(tmp) / "baseline"
@@ -313,6 +331,38 @@ def main():
     rc, out = run_gate(BASELINE_SCENARIOS, cur, name=scn)
     checks.append(expect("scenarios: dropped service record fails", rc, out,
                          True, "missing from current output"))
+
+    # ---- dag_parallelism extractor + absolute validator ----
+    dag = "BENCH_dag.json"
+    rc, out = run_gate(BASELINE_DAG, BASELINE_DAG, name=dag)
+    checks.append(expect("dag: identical output passes", rc, out, False))
+
+    # The headline claim is an absolute invariant of the current output:
+    # SGDRC's DAG form no longer strictly beating its serialized form
+    # fails even when every relative number is within tolerance.
+    cur = copy.deepcopy(BASELINE_DAG)
+    cur["gate"]["ok"] = False
+    rc, out = run_gate(BASELINE_DAG, cur, name=dag)
+    checks.append(expect("dag: gate.ok false fails", rc, out, True,
+                         "strictly beat"))
+
+    cur = copy.deepcopy(BASELINE_DAG)
+    cur["cells"][0]["p99_ms"] = 0.71  # +25%
+    rc, out = run_gate(BASELINE_DAG, cur, name=dag)
+    checks.append(expect("dag: DAG-cell p99 regression fails", rc, out, True,
+                         "p99"))
+
+    cur = copy.deepcopy(BASELINE_DAG)
+    cur["cells"][2]["attainment"] = None
+    rc, out = run_gate(BASELINE_DAG, cur, name=dag)
+    checks.append(expect("dag: attainment -> null fails", rc, out, True,
+                         "attainment was"))
+
+    cur = copy.deepcopy(BASELINE_DAG)
+    del cur["cells"][1]
+    rc, out = run_gate(BASELINE_DAG, cur, name=dag)
+    checks.append(expect("dag: dropped serialized cell fails", rc, out, True,
+                         "missing from current output"))
 
     if not all(checks):
         print("bench_compare selftest FAILED")
